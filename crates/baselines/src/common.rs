@@ -1,0 +1,126 @@
+//! Shared helpers for the baseline policies.
+
+use hetis_cluster::{Cluster, DeviceId, MemoryLedger};
+use hetis_model::ModelSpec;
+use hetis_parallel::balance_layers;
+
+/// Splits `model.num_layers` across stages (each a TP device group),
+/// first in proportion to compute speed, then shifted until every stage's
+/// weight shard fits its devices' memory. Returns `None` when the stages
+/// cannot hold the model at all.
+pub fn fit_layers(
+    cluster: &Cluster,
+    model: &ModelSpec,
+    stage_groups: &[Vec<DeviceId>],
+) -> Option<Vec<u32>> {
+    let k = stage_groups.len();
+    if k == 0 || model.num_layers < k as u32 {
+        return None;
+    }
+    let speeds: Vec<f64> = stage_groups
+        .iter()
+        .map(|g| g.iter().map(|&d| cluster.spec(d).dense_flops).sum())
+        .collect();
+    let mut layers = balance_layers(model.num_layers, &speeds);
+
+    // Per-stage layer capacity from device memory (TP shards evenly).
+    let layer_bytes = model.weight_bytes_per_layer();
+    let emb_half = model.weight_bytes_embeddings() / 2;
+    let cap: Vec<u32> = stage_groups
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let pool: u64 = g
+                .iter()
+                .map(|&d| {
+                    let ledger = MemoryLedger::new(cluster.spec(d).mem_bytes);
+                    ledger.kv_pool() + 0 // weights must fit inside total - reserve
+                })
+                .sum();
+            let mut budget = pool;
+            if i == 0 {
+                budget = budget.saturating_sub(emb_half);
+            }
+            if i == k - 1 {
+                budget = budget.saturating_sub(emb_half);
+            }
+            (budget / layer_bytes) as u32
+        })
+        .collect();
+    if cap.iter().map(|&c| c as u64).sum::<u64>() < model.num_layers as u64 {
+        return None;
+    }
+
+    // Shift layers from over-capacity stages to the roomiest others.
+    for _ in 0..model.num_layers {
+        let Some(over) = (0..k).find(|&i| layers[i] > cap[i]) else {
+            break;
+        };
+        let under = (0..k)
+            .filter(|&i| layers[i] < cap[i])
+            .max_by_key(|&i| cap[i] - layers[i])?;
+        layers[over] -= 1;
+        layers[under] += 1;
+    }
+    if (0..k).any(|i| layers[i] > cap[i] || layers[i] == 0) {
+        return None;
+    }
+    Some(layers)
+}
+
+/// Largest TP degree from `{8,4,2,1}` that divides the head counts and
+/// does not exceed `n`.
+pub fn best_tp(n: usize, model: &ModelSpec) -> usize {
+    [8usize, 4, 2, 1]
+        .into_iter()
+        .find(|&tp| tp <= n && model.num_heads % tp as u32 == 0 && tp as u32 <= model.num_kv_heads)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetis_cluster::cluster::paper_cluster;
+    use hetis_cluster::GpuType;
+    use hetis_model::{llama_13b, llama_70b};
+
+    #[test]
+    fn fit_layers_balances_by_speed_when_memory_ample() {
+        let c = paper_cluster();
+        let m = llama_13b();
+        let a100 = c.devices_of_type(GpuType::A100);
+        let p100 = c.devices_of_type(GpuType::P100);
+        let layers = fit_layers(&c, &m, &[a100, p100]).unwrap();
+        assert_eq!(layers.iter().sum::<u32>(), 40);
+        // A100s are ~27x faster: they take the overwhelming majority.
+        assert!(layers[0] > 30, "{layers:?}");
+    }
+
+    #[test]
+    fn fit_layers_respects_memory() {
+        let c = paper_cluster();
+        let m = llama_70b();
+        let r3090 = c.devices_of_type(GpuType::Rtx3090);
+        let p100 = c.devices_of_type(GpuType::P100);
+        // 3090s are ~11x faster than P100s, but 4x3090 can hold at most
+        // ~51 of 80 layers; the split must be memory-shifted.
+        let layers = fit_layers(&c, &m, &[r3090.clone(), p100.clone()]);
+        assert!(layers.is_none() || {
+            let l = layers.unwrap();
+            l.iter().sum::<u32>() == 80
+        });
+        // A single P100 can never hold Llama-70B.
+        assert!(fit_layers(&c, &m, &[vec![p100[0]]]).is_none());
+    }
+
+    #[test]
+    fn best_tp_divides_heads() {
+        let m70 = llama_70b(); // 64 q heads, 8 kv heads
+        assert_eq!(best_tp(4, &m70), 4);
+        assert_eq!(best_tp(3, &m70), 2);
+        assert_eq!(best_tp(1, &m70), 1);
+        let m13 = llama_13b(); // 40 heads
+        assert_eq!(best_tp(8, &m13), 8);
+        assert_eq!(best_tp(6, &m13), 4);
+    }
+}

@@ -1,0 +1,24 @@
+//! Splitwise and HexGen baselines on the shared serving engine.
+//!
+//! The paper compares Hetis against two heterogeneity-aware systems
+//! (§7.1), both re-implemented here as engine policies on the identical
+//! substrate:
+//!
+//! * [`splitwise::SplitwisePolicy`] — phase splitting (Patel et al., ISCA
+//!   '24): prefill runs on high-end GPUs, decode on low-end GPUs, with a
+//!   full KV hand-off between the two pools after each prefill.
+//! * [`hexgen::HexgenPolicy`] — asymmetric static parallelism (Jiang et
+//!   al., ICML '24): every GPU is a primary worker; TP/PP degrees and
+//!   layer assignments are searched once to balance iteration time, then
+//!   never change.
+//!
+//! Both use stage-local head placement (no dynamic attention
+//! parallelism) and plain LIFO preemption, exactly the behaviors whose
+//! limitations §2.3 dissects.
+
+pub mod common;
+pub mod hexgen;
+pub mod splitwise;
+
+pub use hexgen::HexgenPolicy;
+pub use splitwise::SplitwisePolicy;

@@ -1,0 +1,40 @@
+//! Ablation A2: the exclusion threshold Δ — sweep from 0 (keep every GPU
+//! as primary, HexGen-like) to large (aggressively shed low-end GPUs into
+//! the attention pool) and measure end-to-end latency.
+//!
+//! The paper fixes Δ = 0.05; this ablation shows the basin around it.
+
+use hetis_bench::{bench_trace, Scale};
+use hetis_cluster::cluster::paper_cluster;
+use hetis_core::{search_topology, HetisConfig, HetisPolicy, WorkloadProfile};
+use hetis_engine::{run, EngineConfig};
+use hetis_model::llama_70b;
+use hetis_workload::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cluster = paper_cluster();
+    let model = llama_70b();
+    let dataset = DatasetKind::ShareGpt;
+    let trace = bench_trace(dataset, 2.0, scale.horizon());
+    let mut ecfg = EngineConfig::default();
+    ecfg.drain_timeout = 240.0;
+
+    println!("# A2: exclusion threshold sweep (Llama-70B, ShareGPT rate 2)");
+    println!("delta\tattention_workers\tnorm_latency\tp95_ttft\tcompleted");
+    for &delta in &[0.0, 0.02, 0.05, 0.15, 0.5] {
+        let mut cfg = HetisConfig::default();
+        cfg.delta = delta;
+        let profile = WorkloadProfile::from_dataset(dataset, 128);
+        let search = search_topology(&cluster, &model, &profile, &cfg);
+        let workers = search.attention_workers.len();
+        let policy = HetisPolicy::new(cfg, profile);
+        let report = run(policy, &cluster, &model, ecfg.clone(), &trace);
+        println!(
+            "{delta}\t{workers}\t{:.4}\t{:.3}\t{}",
+            report.mean_normalized_latency(),
+            report.p95_ttft(),
+            report.completed.len()
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Ablation A1: attention-split granularity — head-wise vs sequence-wise
+//! vs request-wise (extends Fig. 5 with the batch-dimension option §4.2
+//! rejects).
+//!
+//! Reports per-layer steady-state communication plus the rebalancing
+//! migration cost each granularity pays when one request must move.
+
+use hetis_cluster::{AlphaBeta, LinkKind};
+use hetis_core::split::{
+    headwise_overhead, requestwise_migration_bytes, requestwise_overhead, seqwise_overhead,
+};
+use hetis_model::{llama_13b, llama_70b, opt_30b};
+
+fn main() {
+    let lan = AlphaBeta::of(LinkKind::InterHost);
+    let batch = 128u64;
+
+    println!("# A1: per-layer comm overhead (ms) by split granularity, 50% offload, 2 workers");
+    println!("model\theadwise\tseqwise\trequestwise");
+    for m in [llama_13b(), opt_30b(), llama_70b()] {
+        println!(
+            "{}\t{:.4}\t{:.4}\t{:.4}",
+            m.name,
+            headwise_overhead(&m, lan, batch, 0.5, 2) * 1e3,
+            seqwise_overhead(&m, lan, batch, 0.5, 2) * 1e3,
+            requestwise_overhead(&m, lan, batch, 0.5, 2) * 1e3,
+        );
+    }
+
+    println!("\n# A1: rebalancing cost — bytes moved when one request shifts 25% of its load");
+    println!("model\tcontext\theadwise_mb\trequestwise_mb");
+    for m in [llama_13b(), llama_70b()] {
+        for &ctx in &[1000u64, 4000] {
+            // Head-wise moves 1/4 of the head groups' KV; request-wise
+            // must move the whole cache.
+            let full = requestwise_migration_bytes(&m, ctx);
+            println!(
+                "{}\t{ctx}\t{:.1}\t{:.1}",
+                m.name,
+                full * 0.25 / 1e6,
+                full / 1e6
+            );
+        }
+    }
+    println!("\n# Takeaway: head-wise pays the least steady-state traffic at partial offload");
+    println!("# and supports partial (cheap) rebalancing; request-wise has low steady traffic");
+    println!("# but catastrophic migration cost; seq-wise replicates q everywhere.");
+}

@@ -1,0 +1,63 @@
+//! Ablation A4: victim policy under memory exhaustion — Hetis's
+//! memory-aware re-dispatching vs plain LIFO vs device-local LRU.
+
+use hetis_bench::Scale;
+use hetis_cluster::cluster::paper_cluster;
+use hetis_cluster::GpuType;
+use hetis_core::redispatch::VictimMode;
+use hetis_core::{HetisConfig, HetisPolicy, WorkloadProfile};
+use hetis_engine::{run, EngineConfig, InstanceRole, InstanceTopo, StageTopo, Topology};
+use hetis_model::llama_13b;
+use hetis_parallel::StageConfig;
+use hetis_sim::percentile;
+use hetis_workload::{DatasetKind, Poisson, TraceBuilder};
+
+fn main() {
+    let scale = Scale::from_env();
+    let cluster = paper_cluster();
+    let model = llama_13b();
+    // Memory-tight layout: one A100 primary, two 3090 workers.
+    let a100 = cluster.devices_of_type(GpuType::A100)[0];
+    let r3090 = cluster.devices_of_type(GpuType::Rtx3090);
+    let mut stage = StageTopo::plain(StageConfig {
+        devices: vec![a100],
+        layers: model.num_layers,
+    });
+    stage.attention_workers = vec![r3090[0], r3090[2]];
+    let topo = Topology {
+        instances: vec![InstanceTopo {
+            stages: vec![stage],
+            role: InstanceRole::Both,
+        }],
+    };
+    let horizon = match scale {
+        Scale::Quick => 40.0,
+        Scale::Full => 120.0,
+    };
+    let trace = TraceBuilder::new(DatasetKind::ShareGpt, 177).build(&Poisson::new(10.0), horizon);
+    let mut cfg = EngineConfig::default();
+    cfg.drain_timeout = 300.0;
+
+    println!("# A4: victim policy comparison (ShareGPT rate 10, tight memory)");
+    println!("victim_policy\tmean_norm\tp95_norm\tpreemptions\tmigrations\tcompleted");
+    for (label, mode) in [
+        ("hetis-redispatch", VictimMode::Hetis),
+        ("plain-lifo", VictimMode::PlainLifo),
+        ("lru-on-device", VictimMode::LruOnDevice),
+    ] {
+        let profile = WorkloadProfile::from_dataset(DatasetKind::ShareGpt, 64);
+        let policy = HetisPolicy::new(HetisConfig::default(), profile)
+            .with_fixed_topology(topo.clone())
+            .with_victim_mode(mode);
+        let report = run(policy, &cluster, &model, cfg.clone(), &trace);
+        let lat = report.normalized_latencies();
+        println!(
+            "{label}\t{:.4}\t{:.4}\t{}\t{}\t{}",
+            report.mean_normalized_latency(),
+            percentile(&lat, 95.0).unwrap_or(f64::INFINITY),
+            report.preemptions,
+            report.migrations,
+            report.completed.len()
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Fig. 10: end-to-end normalized latency vs request rate, Llama-70B
+//! (the GQA model).
+
+use hetis_bench::run_e2e_figure;
+use hetis_model::llama_70b;
+use hetis_workload::DatasetKind;
+
+fn main() {
+    let model = llama_70b();
+    run_e2e_figure(
+        "fig10",
+        &model,
+        &[
+            (DatasetKind::ShareGpt, &[1.0, 2.0, 3.0]),
+            (DatasetKind::HumanEval, &[3.0, 6.0, 9.0, 12.0]),
+            (DatasetKind::LongBench, &[0.4, 0.8, 1.2, 1.6]),
+        ],
+    );
+}

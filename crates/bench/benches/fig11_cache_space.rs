@@ -1,0 +1,57 @@
+//! Fig. 11: maximum available KV cache space (GB) during inference, by
+//! model × dataset × system.
+//!
+//! Paper shape: Hetis always exposes the largest pooled cache (up to
+//! 1.87×); Splitwise wastes memory on replicated parameters; HexGen's
+//! asymmetric split strands capacity.
+
+use hetis_bench::{bench_engine_config, bench_trace, run_system, Scale, System};
+use hetis_cluster::cluster::paper_cluster;
+use hetis_core::{HetisConfig, HetisPolicy, WorkloadProfile};
+use hetis_engine::run;
+use hetis_model::ModelId;
+use hetis_workload::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cluster = paper_cluster();
+    println!("# Fig. 11: usable KV cache space (GB) by model x dataset x system");
+    println!("# (bottleneck-stage-limited capacity; prefill-only pools excluded)");
+    println!("model\tdataset\tsystem\tusable_cache_gb\traw_pool_gb");
+    // A light probe trace: cache *capacity* depends on placement, not
+    // load, so the shortest run suffices.
+    let horizon = match scale {
+        Scale::Quick => 5.0,
+        Scale::Full => 15.0,
+    };
+    for model_id in ModelId::eval_models() {
+        let model = model_id.spec();
+        for dataset in DatasetKind::ALL {
+            let trace = bench_trace(dataset, 1.0, horizon);
+            for system in System::ALL {
+                let report = run_system(system, &cluster, &model, dataset, &trace);
+                println!(
+                    "{model_id}\t{}\t{}\t{:.1}\t{:.1}",
+                    dataset.abbrev(),
+                    system.name(),
+                    report.usable_kv_bytes as f64 / 1e9,
+                    report.total_kv_pool_bytes as f64 / 1e9
+                );
+            }
+            // Supplementary: Hetis with a capacity-priority R (60% of
+            // best-case pool) — the single-replica layout the paper's
+            // Fig. 11 reflects. The default Hetis rows above size R at
+            // compute-feasible load and may rationally prefer a
+            // lower-latency multi-replica layout on some cells.
+            let cap_profile = WorkloadProfile::for_cluster(dataset, &cluster, &model, 0.6);
+            let policy = HetisPolicy::new(HetisConfig::default(), cap_profile);
+            let report = run(policy, &cluster, &model, bench_engine_config(), &trace);
+            println!(
+                "{model_id}\t{}\thetis(capacity-R)\t{:.1}\t{:.1}",
+                dataset.abbrev(),
+                report.usable_kv_bytes as f64 / 1e9,
+                report.total_kv_pool_bytes as f64 / 1e9
+            );
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Fig. 12: P95 TTFT and TPOT across datasets, Llama-70B, at the paper's
+//! fixed unsaturated rates (SG 1.5, HE 6, LB 0.8 req/s).
+//!
+//! Paper shape: Hetis improves P95 TTFT by up to 1.22×/1.47× over
+//! HexGen/Splitwise and TPOT by up to 1.39×.
+
+use hetis_bench::{bench_trace, run_system, Scale, System};
+use hetis_cluster::cluster::paper_cluster;
+use hetis_model::llama_70b;
+use hetis_workload::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cluster = paper_cluster();
+    let model = llama_70b();
+    println!("# Fig. 12: P95 TTFT / TPOT (s), Llama-70B");
+    println!("dataset\trate\tsystem\tp95_ttft_s\tp95_tpot_s");
+    for (dataset, rate) in [
+        (DatasetKind::ShareGpt, 1.5),
+        (DatasetKind::HumanEval, 6.0),
+        (DatasetKind::LongBench, 0.8),
+    ] {
+        let trace = bench_trace(dataset, rate, scale.horizon());
+        for system in System::ALL {
+            let report = run_system(system, &cluster, &model, dataset, &trace);
+            println!(
+                "{}\t{rate}\t{}\t{:.4}\t{:.5}",
+                dataset.abbrev(),
+                system.name(),
+                report.p95_ttft(),
+                report.p95_tpot()
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Fig. 13: P95 per-module latency contribution (max stage time × stage
+//! count) for MLP and Attention during decoding, Llama-70B, at the Fig. 12
+//! rates.
+//!
+//! Paper shape: Hetis cuts MLP latency up to 1.29× (biggest on HumanEval,
+//! the decode-heaviest workload) and Attention latency up to 1.49×.
+
+use hetis_bench::{bench_trace, run_system, Scale, System};
+use hetis_cluster::cluster::paper_cluster;
+use hetis_model::llama_70b;
+use hetis_workload::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cluster = paper_cluster();
+    let model = llama_70b();
+    println!("# Fig. 13: P95 decode module latency contributions (ms), Llama-70B");
+    println!("dataset\trate\tsystem\tp95_mlp_ms\tp95_attn_ms");
+    for (dataset, rate) in [
+        (DatasetKind::ShareGpt, 1.5),
+        (DatasetKind::HumanEval, 6.0),
+        (DatasetKind::LongBench, 0.8),
+    ] {
+        let trace = bench_trace(dataset, rate, scale.horizon());
+        for system in System::ALL {
+            let report = run_system(system, &cluster, &model, dataset, &trace);
+            println!(
+                "{}\t{rate}\t{}\t{:.3}\t{:.3}",
+                dataset.abbrev(),
+                system.name(),
+                report.p95_mlp() * 1e3,
+                report.p95_attn() * 1e3
+            );
+        }
+    }
+}

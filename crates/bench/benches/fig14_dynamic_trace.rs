@@ -1,0 +1,77 @@
+//! Fig. 14: dynamic resource usage under time-varying arrivals
+//! (rps 5 → 0 → 2.5 → 0), Llama-13B, one A100 primary + two 3090
+//! attention workers.
+//!
+//! Paper shape: the A100 consistently carries more heads; 3090s join
+//! late (Hetis avoids premature network distribution under light load);
+//! caches fill at the peak and drain in the quiet phases.
+
+use hetis_cluster::cluster::paper_cluster;
+use hetis_cluster::GpuType;
+use hetis_core::{HetisConfig, HetisPolicy, WorkloadProfile};
+use hetis_engine::{run, EngineConfig, InstanceRole, InstanceTopo, StageTopo, Topology};
+use hetis_bench::Scale;
+use hetis_model::llama_13b;
+use hetis_parallel::StageConfig;
+use hetis_workload::{DatasetKind, PiecewiseRate, TraceBuilder};
+
+fn main() {
+    let scale = Scale::from_env();
+    let cluster = paper_cluster();
+    let model = llama_13b();
+    let a100 = cluster.devices_of_type(GpuType::A100)[0];
+    let r3090 = cluster.devices_of_type(GpuType::Rtx3090);
+
+    let mut stage = StageTopo::plain(StageConfig {
+        devices: vec![a100],
+        layers: model.num_layers,
+    });
+    stage.attention_workers = vec![r3090[0], r3090[2]];
+    let topo = Topology {
+        instances: vec![InstanceTopo {
+            stages: vec![stage],
+            role: InstanceRole::Both,
+        }],
+    };
+
+    let total = match scale {
+        Scale::Quick => 100.0,
+        Scale::Full => 200.0,
+    };
+    let arrivals = PiecewiseRate::fig14_pattern(total);
+    let trace = TraceBuilder::new(DatasetKind::ShareGpt, 1414).build(&arrivals, total);
+
+    let profile = WorkloadProfile::from_dataset(DatasetKind::ShareGpt, 48);
+    let policy = HetisPolicy::new(HetisConfig::default(), profile).with_fixed_topology(topo);
+    let mut cfg = EngineConfig::default();
+    cfg.trace_sample_period = total / 100.0;
+    let report = run(policy, &cluster, &model, cfg, &trace);
+
+    println!("# Fig. 14: cache usage %% and resident heads over time");
+    println!("time_s\tA100_cache_pct\t3090a_cache_pct\t3090b_cache_pct\tA100_heads\t3090a_heads\t3090b_heads");
+    for s in &report.trace {
+        let get = |d: hetis_cluster::DeviceId| {
+            s.devices
+                .iter()
+                .find(|&&(dd, _, _)| dd == d)
+                .map(|&(_, u, h)| (u, h))
+                .unwrap_or((0.0, 0))
+        };
+        let (ua, ha) = get(a100);
+        let (u0, h0) = get(r3090[0]);
+        let (u1, h1) = get(r3090[2]);
+        println!(
+            "{:.1}\t{:.1}\t{:.1}\t{:.1}\t{ha}\t{h0}\t{h1}",
+            s.time,
+            ua * 100.0,
+            u0 * 100.0,
+            u1 * 100.0
+        );
+    }
+    println!(
+        "# completed {}/{} | migrations {}",
+        report.completed.len(),
+        report.completed.len() + report.unfinished,
+        report.migrations
+    );
+}

@@ -1,0 +1,51 @@
+//! Fig. 16a: sensitivity of per-token latency to the re-dispatch
+//! threshold Θ across the three datasets.
+//!
+//! Paper shape: the 0.5 default sits in a shallow basin; small Θ causes
+//! excessive migration, large Θ tolerates imbalance (latency rate within
+//! ~0.95–1.10 of the default).
+
+use hetis_bench::{bench_profile_for, bench_trace, Scale};
+use hetis_cluster::cluster::paper_cluster;
+use hetis_core::{HetisConfig, HetisPolicy};
+use hetis_engine::{run, EngineConfig};
+use hetis_model::llama_13b;
+use hetis_workload::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cluster = paper_cluster();
+    let model = llama_13b();
+    let mut cfg = EngineConfig::default();
+    cfg.drain_timeout = 240.0;
+
+    println!("# Fig. 16a: latency rate vs theta (normalized to theta=0.5)");
+    println!("theta\tSG\tHE\tLB");
+    let grids = [
+        (DatasetKind::ShareGpt, 8.0),
+        (DatasetKind::HumanEval, 30.0),
+        (DatasetKind::LongBench, 4.0),
+    ];
+    // Baseline at the default theta.
+    let mut base = Vec::new();
+    for &(dataset, rate) in &grids {
+        let trace = bench_trace(dataset, rate, scale.horizon());
+        let policy = HetisPolicy::new(HetisConfig::default(), bench_profile_for(dataset, &cluster, &model));
+        let report = run(policy, &cluster, &model, cfg.clone(), &trace);
+        base.push(report.mean_normalized_latency());
+    }
+    for &theta in &[0.3, 0.4, 0.5, 0.6, 0.7] {
+        let mut row = format!("{theta}");
+        for (k, &(dataset, rate)) in grids.iter().enumerate() {
+            let trace = bench_trace(dataset, rate, scale.horizon());
+            let policy =
+                HetisPolicy::new(HetisConfig::default(), bench_profile_for(dataset, &cluster, &model)).with_theta(theta);
+            let report = run(policy, &cluster, &model, cfg.clone(), &trace);
+            row.push_str(&format!(
+                "\t{:.4}",
+                report.mean_normalized_latency() / base[k]
+            ));
+        }
+        println!("{row}");
+    }
+}

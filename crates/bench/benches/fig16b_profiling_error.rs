@@ -1,0 +1,51 @@
+//! Fig. 16b: robustness to profiling error — perturb each fitted
+//! coefficient family (a, b, c, γ, β) by up to ±20% and measure per-token
+//! latency inflation.
+//!
+//! Paper shape: even ±20% error inflates latency by at most ~6.9%.
+
+use hetis_bench::{bench_profile_for, bench_trace, Scale};
+use hetis_cluster::cluster::paper_cluster;
+use hetis_core::profiler::Coefficient;
+use hetis_core::{HetisConfig, HetisPolicy};
+use hetis_engine::{run, EngineConfig};
+use hetis_model::llama_13b;
+use hetis_workload::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cluster = paper_cluster();
+    let model = llama_13b();
+    let dataset = DatasetKind::ShareGpt;
+    let rate = 8.0;
+    let mut cfg = EngineConfig::default();
+    cfg.drain_timeout = 240.0;
+    let trace = bench_trace(dataset, rate, scale.horizon());
+
+    let baseline = {
+        let policy = HetisPolicy::new(HetisConfig::default(), bench_profile_for(dataset, &cluster, &model));
+        run(policy, &cluster, &model, cfg.clone(), &trace).mean_normalized_latency()
+    };
+
+    println!("# Fig. 16b: normalized latency vs profiling error (vs unperturbed)");
+    println!("error_pct\ta\tb\tc\tgamma\tbeta");
+    for &pct in &[5.0, 10.0, 15.0, 20.0] {
+        let mut row = format!("{pct}");
+        for which in [
+            Coefficient::A,
+            Coefficient::B,
+            Coefficient::C,
+            Coefficient::Gamma,
+            Coefficient::Beta,
+        ] {
+            let policy = HetisPolicy::new(HetisConfig::default(), bench_profile_for(dataset, &cluster, &model))
+                .with_perturbation(which, pct / 100.0);
+            let report = run(policy, &cluster, &model, cfg.clone(), &trace);
+            row.push_str(&format!(
+                "\t{:.4}",
+                report.mean_normalized_latency() / baseline
+            ));
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Fig. 2: decode MLP and Attention time of one Llama-70B layer across
+//! GPUs, vs request count (sequence length 1000).
+//!
+//! Paper shape: the MLP gap P100/A100 grows toward 30–40× with batch;
+//! the Attention gap stays in the narrow 2–5× band — opportunity O2.
+
+use hetis_cluster::{
+    attn_decode_time, dense_decode_time, AttnWork, DenseWork, DeviceSpec, GpuType,
+};
+use hetis_model::{llama_70b, DenseOp, ModuleCosts};
+
+fn main() {
+    let m = llama_70b();
+    let costs = ModuleCosts::new(&m);
+    let seq = 1000u64;
+    let devices = [GpuType::P100, GpuType::Rtx3090, GpuType::A100];
+
+    println!("# Fig. 2a: decode MLP time of one layer, normalized to A100");
+    println!("requests\tP100\t3090\tA100\tP100_norm\t3090_norm");
+    for &n in &[20u64, 100, 200, 300, 400] {
+        let work = DenseWork {
+            flops: costs.dense_flops(DenseOp::Mlp, n),
+            weight_bytes: costs.dense_weight_bytes(DenseOp::Mlp) as f64,
+        };
+        let t: Vec<f64> = devices
+            .iter()
+            .map(|&g| dense_decode_time(&DeviceSpec::of(g), work, 1))
+            .collect();
+        println!(
+            "{n}\t{:.6}\t{:.6}\t{:.6}\t{:.2}\t{:.2}",
+            t[0],
+            t[1],
+            t[2],
+            t[0] / t[2],
+            t[1] / t[2]
+        );
+    }
+
+    println!("\n# Fig. 2b: decode Attention time of one layer, normalized to A100");
+    println!("requests\tP100\t3090\tA100\tP100_norm\t3090_norm");
+    for &n in &[20u64, 100, 200, 300, 400] {
+        let work = AttnWork {
+            query_heads: (n * m.num_heads as u64) as f64,
+            kv_bytes: n as f64 * costs.attn_decode_kv_bytes(m.num_heads as u64, seq),
+        };
+        let t: Vec<f64> = devices
+            .iter()
+            .map(|&g| attn_decode_time(&DeviceSpec::of(g), work))
+            .collect();
+        println!(
+            "{n}\t{:.6}\t{:.6}\t{:.6}\t{:.2}\t{:.2}",
+            t[0],
+            t[1],
+            t[2],
+            t[0] / t[2],
+            t[1] / t[2]
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Fig. 5: head-wise vs sequence-wise splitting communication overhead
+//! (Llama-70B, 100 Gbps LAN).
+//!
+//! Paper shape: (a) at 20% offload to one worker head-wise wins ~2.68×;
+//! (b) with four workers the advantage reaches ~3.55×.
+
+use hetis_cluster::{AlphaBeta, LinkKind};
+use hetis_core::split::{headwise_overhead, seqwise_overhead};
+use hetis_model::llama_70b;
+
+fn main() {
+    let m = llama_70b();
+    let lan = AlphaBeta::of(LinkKind::InterHost);
+    let batch = 128u64;
+
+    println!("# Fig. 5a: per-layer comm overhead vs offload ratio (1 worker, batch {batch})");
+    println!("offload_ratio\theadwise_ms\tseqwise_ms\tadvantage");
+    for &frac in &[0.2, 0.4, 0.6, 0.8] {
+        let h = headwise_overhead(&m, lan, batch, frac, 1);
+        let s = seqwise_overhead(&m, lan, batch, frac, 1);
+        println!(
+            "{frac}\t{:.4}\t{:.4}\t{:.2}",
+            h * 1e3,
+            s * 1e3,
+            s / h
+        );
+    }
+
+    println!("\n# Fig. 5b: per-layer comm overhead vs worker count (even split)");
+    println!("workers\theadwise_ms\tseqwise_ms\tadvantage");
+    for workers in 1..=4usize {
+        let h = headwise_overhead(&m, lan, batch, 1.0, workers);
+        let s = seqwise_overhead(&m, lan, batch, 1.0, workers);
+        println!(
+            "{workers}\t{:.4}\t{:.4}\t{:.2}",
+            h * 1e3,
+            s * 1e3,
+            s / h
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Fig. 7: the three empirical properties behind the linear attention
+//! model (OPT-30B, one layer on the measured device, as the Profiler
+//! sees it):
+//!   (a) time is independent of request count at fixed heads + cache,
+//!   (b) time grows linearly with cache size,
+//!   (c) time grows linearly with head count.
+//!
+//! We run the simulated attention kernel with profiling-style measurement
+//! noise and print the same three series (per-layer microseconds; the
+//! paper's absolute axis depends on its TP sharding, the shapes are the
+//! reproduction target).
+
+use hetis_cluster::{attn_decode_time, AttnWork, DeviceSpec, GpuType};
+use hetis_sim::SplitMix64;
+
+fn main() {
+    let spec = DeviceSpec::of(GpuType::A100);
+    let mut noise = SplitMix64::new(77);
+
+    // Baseline composition: 25k query heads over 500 MB of per-layer KV.
+    let base_heads = 25_000.0;
+    let base_cache = 500e6;
+
+    println!("# Fig. 7a: requests vary, total heads+cache fixed (one layer)");
+    println!("requests\tattention_us");
+    for &n in &[400u64, 500, 600, 700] {
+        // The kernel has no request term: composition does not matter.
+        let t = attn_decode_time(
+            &spec,
+            AttnWork {
+                query_heads: base_heads,
+                kv_bytes: base_cache,
+            },
+        ) * noise.jitter(0.02);
+        println!("{n}\t{:.2}", t * 1e6);
+    }
+
+    println!("\n# Fig. 7b: average context length varies (cache scales with it)");
+    println!("avg_context\tattention_us");
+    for &ctx in &[900u64, 1000, 1100, 1200] {
+        let t = attn_decode_time(
+            &spec,
+            AttnWork {
+                query_heads: base_heads,
+                kv_bytes: base_cache * ctx as f64 / 1000.0,
+            },
+        ) * noise.jitter(0.02);
+        println!("{ctx}\t{:.2}", t * 1e6);
+    }
+
+    println!("\n# Fig. 7c: head count varies, cache fixed");
+    println!("heads_k\tattention_us");
+    for &heads_k in &[15u64, 25, 35, 45] {
+        let t = attn_decode_time(
+            &spec,
+            AttnWork {
+                query_heads: heads_k as f64 * 1000.0,
+                kv_bytes: base_cache,
+            },
+        ) * noise.jitter(0.02);
+        println!("{heads_k}\t{:.2}", t * 1e6);
+    }
+}

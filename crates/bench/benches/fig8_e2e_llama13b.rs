@@ -1,0 +1,19 @@
+//! Fig. 8: end-to-end normalized latency vs request rate, Llama-13B,
+//! across ShareGPT / HumanEval / LongBench and all three systems.
+
+use hetis_bench::run_e2e_figure;
+use hetis_model::llama_13b;
+use hetis_workload::DatasetKind;
+
+fn main() {
+    let model = llama_13b();
+    run_e2e_figure(
+        "fig8",
+        &model,
+        &[
+            (DatasetKind::ShareGpt, &[3.0, 6.0, 9.0, 12.0, 15.0]),
+            (DatasetKind::HumanEval, &[15.0, 30.0, 45.0, 60.0, 75.0]),
+            (DatasetKind::LongBench, &[3.0, 6.0, 9.0]),
+        ],
+    );
+}

@@ -1,0 +1,18 @@
+//! Fig. 9: end-to-end normalized latency vs request rate, OPT-30B.
+
+use hetis_bench::run_e2e_figure;
+use hetis_model::opt_30b;
+use hetis_workload::DatasetKind;
+
+fn main() {
+    let model = opt_30b();
+    run_e2e_figure(
+        "fig9",
+        &model,
+        &[
+            (DatasetKind::ShareGpt, &[3.0, 6.0, 9.0, 12.0]),
+            (DatasetKind::HumanEval, &[15.0, 30.0, 45.0]),
+            (DatasetKind::LongBench, &[2.0, 4.0, 6.0]),
+        ],
+    );
+}

@@ -1,0 +1,132 @@
+//! Criterion micro-benchmarks of the hot scheduling paths: the dispatch
+//! LP, the ideal-time LP, head rounding, fetch-index assembly and
+//! migration planning.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hetis_cluster::cluster::paper_cluster;
+use hetis_cluster::GpuType;
+use hetis_core::{Dispatcher, HetisConfig, Profiler};
+use hetis_engine::{KvState, StageTopo};
+use hetis_kvcache::{
+    build_fetch_index_parallel, plan_migration, BlockConfig, GroupId, HeadwiseAllocator,
+    Placement, SeqId,
+};
+use hetis_kvcache::index::build_headwise_index_serial;
+use hetis_lp::{round_to_groups, AffineExpr, ConstraintOp, MinMaxBuilder};
+use hetis_model::llama_70b;
+use hetis_parallel::StageConfig;
+use std::collections::HashMap;
+
+fn bench_lp(c: &mut Criterion) {
+    c.bench_function("lp_minmax_6dev_4req", |b| {
+        b.iter(|| {
+            let n = 6;
+            let j = 4;
+            let nv = n * j;
+            let mut builder = MinMaxBuilder::new(nv);
+            for i in 0..n {
+                let speed = 1.0 + i as f64 * 0.5;
+                let mut coeffs = vec![0.0; nv];
+                for jj in 0..j {
+                    coeffs[jj * n + i] = speed * (1.0 + jj as f64 * 0.1);
+                }
+                builder.add_max_term(AffineExpr {
+                    constant: 0.01 * i as f64,
+                    coeffs,
+                });
+                let mut cap = vec![0.0; nv];
+                for jj in 0..j {
+                    cap[jj * n + i] = 1.0;
+                }
+                builder.add_constraint(cap, ConstraintOp::Le, 100.0);
+            }
+            for jj in 0..j {
+                let mut row = vec![0.0; nv];
+                for i in 0..n {
+                    row[jj * n + i] = 1.0;
+                }
+                builder.add_constraint(row, ConstraintOp::Eq, 64.0);
+            }
+            builder.solve().unwrap()
+        })
+    });
+
+    c.bench_function("round_to_groups_8dev", |b| {
+        let x = vec![10.3, 7.7, 12.1, 5.9, 8.0, 6.4, 9.6, 4.0];
+        let cap = vec![64u32; 8];
+        b.iter(|| round_to_groups(&x, 8, 64, &cap).unwrap())
+    });
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let cluster = paper_cluster();
+    let model = llama_70b();
+    let mut kv = KvState::new(&cluster, &model, 16, &HashMap::new()).unwrap();
+    let mut stage = StageTopo::plain(StageConfig {
+        devices: cluster.devices_of_type(GpuType::A100),
+        layers: 80,
+    });
+    stage.attention_workers = cluster.devices_of_type(GpuType::P100);
+    for (k, &dev) in stage.primary.devices.iter().enumerate() {
+        for q in 0..25u64 {
+            kv.device_mut(dev)
+                .allocate(hetis_workload::RequestId(k as u64 * 100 + q), 0, 8, 2000, 80)
+                .unwrap();
+        }
+    }
+    let dispatcher =
+        Dispatcher::new(Profiler::profile(&cluster, 8, 0.0, 3), HetisConfig::default());
+
+    c.bench_function("dispatch_eq7_batch4", |b| {
+        b.iter(|| {
+            dispatcher
+                .dispatch(&cluster, &model, &kv, &stage, 0, &[512, 1024, 2048, 300])
+                .unwrap()
+        })
+    });
+    c.bench_function("ideal_attention_time", |b| {
+        b.iter(|| {
+            dispatcher
+                .ideal_attention_time(&cluster, &model, &kv, &stage, 0)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_kvcache(c: &mut Criterion) {
+    let cfg = BlockConfig {
+        block_size: 16,
+        num_blocks: 200_000,
+    };
+    let mut alloc = HeadwiseAllocator::new(cfg);
+    let groups: Vec<GroupId> = (0..8).map(GroupId).collect();
+    let mut items = Vec::new();
+    for s in 0..256u64 {
+        alloc.allocate_groups(SeqId(s), &groups, 600).unwrap();
+        for &g in &groups {
+            items.push((SeqId(s), g));
+        }
+    }
+    c.bench_function("fetch_index_serial_2048items", |b| {
+        b.iter(|| build_headwise_index_serial(&alloc, &items).total_slots())
+    });
+    c.bench_function("fetch_index_parallel_2048items", |b| {
+        b.iter(|| build_fetch_index_parallel(&alloc, &items).total_slots())
+    });
+
+    c.bench_function("plan_migration_64groups", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Placement::from_counts(&[40, 24]),
+                    Placement::from_counts(&[24, 24, 16]),
+                )
+            },
+            |(old, new)| plan_migration(&old, &new),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_lp, bench_dispatch, bench_kvcache);
+criterion_main!(benches);

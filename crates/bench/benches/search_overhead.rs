@@ -1,0 +1,37 @@
+//! §7.4 "Searching overhead of primary worker parallelism": wall time of
+//! the Parallelizer's hierarchical search.
+//!
+//! Paper reference: 4 s on the authors' 12-GPU cluster; 15 s on a
+//! simulated 5-type × 32-GPU cluster (their search executes real
+//! profiling kernels; ours is fully analytic and therefore far faster —
+//! the point of the experiment is that search cost is negligible and
+//! scales mildly with cluster size).
+
+use hetis_cluster::cluster::{large_synthetic, paper_cluster};
+use hetis_core::{search_topology, HetisConfig, WorkloadProfile};
+use hetis_model::{llama_13b, llama_70b};
+use hetis_workload::DatasetKind;
+use std::time::Instant;
+
+fn main() {
+    let cfg = HetisConfig::default();
+    let profile = WorkloadProfile::from_dataset(DatasetKind::ShareGpt, 128);
+
+    println!("# Parallelizer search overhead");
+    println!("cluster\tmodel\tconfigs_evaluated\twall_seconds");
+    for (label, cluster) in [
+        ("paper-12gpu", paper_cluster()),
+        ("synthetic-5x8", large_synthetic(5, 8)),
+        ("synthetic-5x32", large_synthetic(5, 32)),
+    ] {
+        for model in [llama_13b(), llama_70b()] {
+            let t0 = Instant::now();
+            let out = search_topology(&cluster, &model, &profile, &cfg);
+            let wall = t0.elapsed().as_secs_f64();
+            println!(
+                "{label}\t{}\t{}\t{:.3}",
+                model.name, out.evaluated, wall
+            );
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Table 1: memory capacity and whole-model iteration time per GPU type.
+//!
+//! Paper reference (OPT-2.7B, prefill batch 3, decode batch 25):
+//! A100 80 GB 0.060 s / 0.0097 s; 3090 24 GB 0.147 s / 0.0143 s;
+//! P100 12 GB 1.47 s / 0.077 s.
+
+use hetis_cluster::calib::table1;
+use hetis_cluster::{
+    attn_decode_time, attn_prefill_time, dense_decode_time, dense_prefill_time, AttnWork,
+    DenseWork, DeviceSpec, GpuType,
+};
+use hetis_model::{opt_2_7b, ModuleCosts};
+
+fn whole_model_times(spec: &DeviceSpec) -> (f64, f64) {
+    let m = opt_2_7b();
+    let costs = ModuleCosts::new(&m);
+    let lm_bytes = (m.vocab_size * m.hidden_size * m.dtype.bytes()) as f64;
+
+    let pf_tokens = table1::PREFILL_REQUESTS * table1::SEQ_LEN;
+    let pf_dense = DenseWork {
+        flops: costs.dense_flops_total(pf_tokens),
+        weight_bytes: m.weight_bytes_per_layer() as f64,
+    };
+    let pf_attn = table1::PREFILL_REQUESTS as f64 * costs.attn_prefill_flops(table1::SEQ_LEN);
+    let prefill = (dense_prefill_time(spec, pf_dense, 3) + attn_prefill_time(spec, pf_attn))
+        * m.num_layers as f64
+        + lm_bytes / spec.decode_stream_bw;
+
+    let n = table1::DECODE_REQUESTS;
+    let dc_dense = DenseWork {
+        flops: costs.dense_flops_total(n),
+        weight_bytes: m.weight_bytes_per_layer() as f64,
+    };
+    let dc_attn = AttnWork {
+        query_heads: (n * m.num_heads as u64) as f64,
+        kv_bytes: n as f64 * costs.attn_decode_kv_bytes(m.num_heads as u64, table1::SEQ_LEN),
+    };
+    let decode = (dense_decode_time(spec, dc_dense, 3) + attn_decode_time(spec, dc_attn))
+        * m.num_layers as f64
+        + lm_bytes / spec.decode_stream_bw;
+    (prefill, decode)
+}
+
+fn main() {
+    println!("# Table 1: memory and iteration time across GPUs (OPT-2.7B)");
+    println!("device\tmemory_gb\tprefill_s\tdecode_s\tpaper_prefill_s\tpaper_decode_s");
+    let rows = [
+        (GpuType::A100, table1::A100),
+        (GpuType::Rtx3090, table1::R3090),
+        (GpuType::P100, table1::P100),
+    ];
+    let mut measured = Vec::new();
+    for (gpu, (ref_pf, ref_dc)) in rows {
+        let spec = DeviceSpec::of(gpu);
+        let (pf, dc) = whole_model_times(&spec);
+        measured.push((pf, dc));
+        println!(
+            "{gpu}\t{}\t{pf:.4}\t{dc:.5}\t{ref_pf}\t{ref_dc}",
+            spec.mem_bytes / 1_000_000_000
+        );
+    }
+    let (a_pf, a_dc) = measured[0];
+    println!("\n# ratios vs A100 (paper: prefill 1 / 2.45 / 24.5, decode 1 / 1.47 / 7.93)");
+    println!("device\tprefill_ratio\tdecode_ratio");
+    for ((gpu, _), (pf, dc)) in rows.iter().zip(&measured) {
+        println!("{gpu}\t{:.2}\t{:.2}", pf / a_pf, dc / a_dc);
+    }
+}

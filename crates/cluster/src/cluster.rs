@@ -1,0 +1,268 @@
+//! Cluster topology: hosts, devices, links, and the paper's testbed layout.
+
+use crate::device::{Device, DeviceId, DeviceSpec, GpuType};
+use crate::net::link::{AlphaBeta, LinkKind};
+
+/// Identifier of a host (PCIe domain) in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub u32);
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+/// A heterogeneous GPU cluster: devices grouped into hosts, joined by a
+/// LAN; GPUs inside a host share PCIe.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    devices: Vec<Device>,
+    hosts: Vec<Vec<DeviceId>>,
+}
+
+impl Cluster {
+    /// All devices, ordered by id.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when the cluster has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The device with the given id.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.index()]
+    }
+
+    /// Spec shorthand.
+    pub fn spec(&self, id: DeviceId) -> &DeviceSpec {
+        &self.devices[id.index()].spec
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Devices on a host.
+    pub fn host_devices(&self, host: HostId) -> &[DeviceId] {
+        &self.hosts[host.0 as usize]
+    }
+
+    /// Link class between two devices.
+    pub fn link_kind(&self, a: DeviceId, b: DeviceId) -> LinkKind {
+        if a == b {
+            LinkKind::Loopback
+        } else if self.device(a).host == self.device(b).host {
+            LinkKind::IntraHost
+        } else {
+            LinkKind::InterHost
+        }
+    }
+
+    /// Alpha–beta parameters of the path between two devices.
+    pub fn link(&self, a: DeviceId, b: DeviceId) -> AlphaBeta {
+        AlphaBeta::of(self.link_kind(a, b))
+    }
+
+    /// The *worst* link among all pairs in a group — what a ring collective
+    /// over the group is bottlenecked by.
+    pub fn worst_link(&self, group: &[DeviceId]) -> AlphaBeta {
+        let mut worst = AlphaBeta::of(LinkKind::Loopback);
+        for (i, &a) in group.iter().enumerate() {
+            for &b in &group[i + 1..] {
+                let l = self.link(a, b);
+                if l.beta > worst.beta || (l.beta == worst.beta && l.alpha > worst.alpha) {
+                    worst = l;
+                }
+            }
+        }
+        worst
+    }
+
+    /// Ids of all devices of a given GPU type.
+    pub fn devices_of_type(&self, gpu: GpuType) -> Vec<DeviceId> {
+        self.devices
+            .iter()
+            .filter(|d| d.spec.gpu == gpu)
+            .map(|d| d.id)
+            .collect()
+    }
+
+    /// Distinct GPU types present, ordered from *highest* to *lowest*
+    /// dense throughput (the order the paper's exclusion heuristic walks in
+    /// reverse).
+    pub fn gpu_types_by_power(&self) -> Vec<GpuType> {
+        let mut types: Vec<GpuType> = Vec::new();
+        for d in &self.devices {
+            if !types.contains(&d.spec.gpu) {
+                types.push(d.spec.gpu);
+            }
+        }
+        types.sort_by(|a, b| {
+            DeviceSpec::of(*b)
+                .dense_flops
+                .partial_cmp(&DeviceSpec::of(*a).dense_flops)
+                .unwrap()
+        });
+        types
+    }
+
+    /// Total cluster memory in bytes.
+    pub fn total_memory(&self) -> u64 {
+        self.devices.iter().map(|d| d.spec.mem_bytes).sum()
+    }
+}
+
+/// Builder for clusters: add hosts with their GPU complements.
+#[derive(Debug, Default)]
+pub struct ClusterBuilder {
+    hosts: Vec<Vec<GpuType>>,
+}
+
+impl ClusterBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one host carrying the given GPUs.
+    pub fn host(mut self, gpus: &[GpuType]) -> Self {
+        self.hosts.push(gpus.to_vec());
+        self
+    }
+
+    /// Materializes the cluster.
+    pub fn build(self) -> Cluster {
+        let mut devices = Vec::new();
+        let mut hosts = Vec::new();
+        let mut next = 0u32;
+        for (h, gpus) in self.hosts.into_iter().enumerate() {
+            let host_id = HostId(h as u32);
+            let mut ids = Vec::with_capacity(gpus.len());
+            for gpu in gpus {
+                let id = DeviceId(next);
+                next += 1;
+                devices.push(Device {
+                    id,
+                    host: host_id,
+                    spec: DeviceSpec::of(gpu),
+                });
+                ids.push(id);
+            }
+            hosts.push(ids);
+        }
+        Cluster { devices, hosts }
+    }
+}
+
+/// The paper's evaluation cluster (§7.1): one host with 4×A100-80GB, two
+/// hosts with 2×RTX-3090 each, one host with 4×P100; 100 Gbps LAN between
+/// hosts, PCIe inside.
+pub fn paper_cluster() -> Cluster {
+    ClusterBuilder::new()
+        .host(&[GpuType::A100; 4])
+        .host(&[GpuType::Rtx3090; 2])
+        .host(&[GpuType::Rtx3090; 2])
+        .host(&[GpuType::P100; 4])
+        .build()
+}
+
+/// The ablation cluster of Fig. 14: one A100 primary plus two 3090s.
+pub fn ablation_cluster() -> Cluster {
+    ClusterBuilder::new()
+        .host(&[GpuType::A100])
+        .host(&[GpuType::Rtx3090])
+        .host(&[GpuType::Rtx3090])
+        .build()
+}
+
+/// The large-scale synthetic cluster of §7.4's search-overhead study:
+/// `types` GPU tiers with `per_type` GPUs each, packed 4 per host.
+pub fn large_synthetic(types: u8, per_type: usize) -> Cluster {
+    let mut b = ClusterBuilder::new();
+    for t in 0..types {
+        let mut remaining = per_type;
+        while remaining > 0 {
+            let n = remaining.min(4);
+            let gpus = vec![GpuType::Custom(t); n];
+            b = b.host(&gpus);
+            remaining -= n;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_layout() {
+        let c = paper_cluster();
+        assert_eq!(c.len(), 12);
+        assert_eq!(c.num_hosts(), 4);
+        assert_eq!(c.devices_of_type(GpuType::A100).len(), 4);
+        assert_eq!(c.devices_of_type(GpuType::Rtx3090).len(), 4);
+        assert_eq!(c.devices_of_type(GpuType::P100).len(), 4);
+        // 4*80 + 4*24 + 4*12 GB
+        assert_eq!(c.total_memory(), (4 * 80 + 4 * 24 + 4 * 12) * crate::calib::GB);
+    }
+
+    #[test]
+    fn link_kinds() {
+        let c = paper_cluster();
+        let a100s = c.devices_of_type(GpuType::A100);
+        let p100s = c.devices_of_type(GpuType::P100);
+        assert_eq!(c.link_kind(a100s[0], a100s[1]), LinkKind::IntraHost);
+        assert_eq!(c.link_kind(a100s[0], p100s[0]), LinkKind::InterHost);
+        assert_eq!(c.link_kind(a100s[0], a100s[0]), LinkKind::Loopback);
+        // 3090s are split across two hosts.
+        let r = c.devices_of_type(GpuType::Rtx3090);
+        assert_eq!(c.link_kind(r[0], r[1]), LinkKind::IntraHost);
+        assert_eq!(c.link_kind(r[1], r[2]), LinkKind::InterHost);
+    }
+
+    #[test]
+    fn worst_link_dominates_group() {
+        let c = paper_cluster();
+        let a100s = c.devices_of_type(GpuType::A100);
+        let intra = c.worst_link(&a100s);
+        assert_eq!(intra.beta, AlphaBeta::of(LinkKind::IntraHost).beta);
+        let r = c.devices_of_type(GpuType::Rtx3090);
+        let cross = c.worst_link(&r);
+        assert_eq!(cross.beta, AlphaBeta::of(LinkKind::InterHost).beta);
+    }
+
+    #[test]
+    fn types_sorted_by_power() {
+        let c = paper_cluster();
+        assert_eq!(
+            c.gpu_types_by_power(),
+            vec![GpuType::A100, GpuType::Rtx3090, GpuType::P100]
+        );
+    }
+
+    #[test]
+    fn synthetic_cluster_size() {
+        let c = large_synthetic(5, 32);
+        assert_eq!(c.len(), 160);
+        assert_eq!(c.num_hosts(), 5 * 8);
+        assert_eq!(c.gpu_types_by_power().len(), 5);
+    }
+
+    #[test]
+    fn ablation_cluster_layout() {
+        let c = ablation_cluster();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.num_hosts(), 3);
+    }
+}

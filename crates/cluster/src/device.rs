@@ -1,0 +1,186 @@
+//! GPU device types and their calibrated performance envelopes.
+
+use std::fmt;
+
+/// A GPU model present in the simulated cluster.
+///
+/// The three concrete types are the paper's testbed; [`GpuType::Custom`]
+/// supports the large-scale synthetic clusters used in the search-overhead
+/// experiment (§7.4: "five GPU types with 32 GPUs each").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuType {
+    /// NVIDIA A100-80GB — the high-end device.
+    A100,
+    /// NVIDIA GeForce RTX 3090 (24 GB) — the mid-range device.
+    Rtx3090,
+    /// NVIDIA Tesla P100 (12 GB in the paper's hosts) — the low-end device.
+    P100,
+    /// A synthetic type, indexed; its spec is interpolated between P100 and
+    /// A100 by `tier` (0.0 = P100-like … 1.0 = A100-like).
+    Custom(u8),
+}
+
+impl fmt::Display for GpuType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuType::A100 => write!(f, "A100"),
+            GpuType::Rtx3090 => write!(f, "3090"),
+            GpuType::P100 => write!(f, "P100"),
+            GpuType::Custom(i) => write!(f, "GPU-T{i}"),
+        }
+    }
+}
+
+/// The calibrated performance envelope of one GPU type.
+///
+/// These are *effective* rates — what the paper's profiled kernels achieve,
+/// not datasheet peaks. In particular `decode_stream_bw` is the effective
+/// weight-streaming bandwidth in the decode (GEMV) regime, which on the
+/// P100 is far below its nominal HBM bandwidth because FP16 GEMV on that
+/// part is severely kernel-limited; calibrating the effective value against
+/// Table 1 of the paper preserves exactly the behaviour the scheduler sees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSpec {
+    /// The GPU model.
+    pub gpu: GpuType,
+    /// Total device memory in bytes.
+    pub mem_bytes: u64,
+    /// Effective dense-GEMM throughput, FLOP/s (compute-bound regime).
+    pub dense_flops: f64,
+    /// Effective weight-streaming bandwidth in the decode regime, B/s.
+    pub decode_stream_bw: f64,
+    /// Effective attention (KV-read) bandwidth, B/s. Narrower spread than
+    /// dense rates — the source of opportunity O2 in the paper.
+    pub attn_bw: f64,
+    /// Per-query-head attention overhead, seconds (the ground truth behind
+    /// the paper's `a_i` coefficient; models head-level contention).
+    pub attn_per_head: f64,
+    /// Per-kernel launch overhead, seconds.
+    pub launch_overhead: f64,
+}
+
+impl DeviceSpec {
+    /// Calibrated spec for a GPU type (constants in [`crate::calib`]).
+    pub fn of(gpu: GpuType) -> DeviceSpec {
+        use crate::calib as c;
+        match gpu {
+            GpuType::A100 => DeviceSpec {
+                gpu,
+                mem_bytes: c::A100_MEM,
+                dense_flops: c::A100_DENSE_FLOPS,
+                decode_stream_bw: c::A100_STREAM_BW,
+                attn_bw: c::A100_ATTN_BW,
+                attn_per_head: c::A100_ATTN_PER_HEAD,
+                launch_overhead: c::A100_LAUNCH,
+            },
+            GpuType::Rtx3090 => DeviceSpec {
+                gpu,
+                mem_bytes: c::R3090_MEM,
+                dense_flops: c::R3090_DENSE_FLOPS,
+                decode_stream_bw: c::R3090_STREAM_BW,
+                attn_bw: c::R3090_ATTN_BW,
+                attn_per_head: c::R3090_ATTN_PER_HEAD,
+                launch_overhead: c::R3090_LAUNCH,
+            },
+            GpuType::P100 => DeviceSpec {
+                gpu,
+                mem_bytes: c::P100_MEM,
+                dense_flops: c::P100_DENSE_FLOPS,
+                decode_stream_bw: c::P100_STREAM_BW,
+                attn_bw: c::P100_ATTN_BW,
+                attn_per_head: c::P100_ATTN_PER_HEAD,
+                launch_overhead: c::P100_LAUNCH,
+            },
+            GpuType::Custom(tier) => {
+                // Geometric interpolation between the P100 (tier 0) and the
+                // A100 (tier 4+) envelopes; memory interpolates linearly.
+                let t = (tier as f64 / 4.0).clamp(0.0, 1.0);
+                let lerp = |lo: f64, hi: f64| lo * (hi / lo).powf(t);
+                DeviceSpec {
+                    gpu,
+                    mem_bytes: (c::P100_MEM as f64
+                        + (c::A100_MEM as f64 - c::P100_MEM as f64) * t)
+                        as u64,
+                    dense_flops: lerp(c::P100_DENSE_FLOPS, c::A100_DENSE_FLOPS),
+                    decode_stream_bw: lerp(c::P100_STREAM_BW, c::A100_STREAM_BW),
+                    attn_bw: lerp(c::P100_ATTN_BW, c::A100_ATTN_BW),
+                    attn_per_head: lerp(c::P100_ATTN_PER_HEAD, c::A100_ATTN_PER_HEAD),
+                    launch_overhead: lerp(c::P100_LAUNCH, c::A100_LAUNCH),
+                }
+            }
+        }
+    }
+}
+
+/// Identifier of a device within a [`crate::Cluster`]. Dense, starting at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u32);
+
+impl DeviceId {
+    /// Index form for vector addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// One physical GPU in the cluster.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// Cluster-unique id.
+    pub id: DeviceId,
+    /// Host the device is plugged into (PCIe domain).
+    pub host: crate::cluster::HostId,
+    /// Performance envelope.
+    pub spec: DeviceSpec,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_ordering_matches_paper_hierarchy() {
+        let a = DeviceSpec::of(GpuType::A100);
+        let r = DeviceSpec::of(GpuType::Rtx3090);
+        let p = DeviceSpec::of(GpuType::P100);
+        assert!(a.dense_flops > r.dense_flops && r.dense_flops > p.dense_flops);
+        assert!(a.mem_bytes > r.mem_bytes && r.mem_bytes > p.mem_bytes);
+        assert!(a.attn_bw > r.attn_bw && r.attn_bw > p.attn_bw);
+        // Memory ratios from §2.2: 3.33x and 6.67x.
+        let m_ab = a.mem_bytes as f64 / r.mem_bytes as f64;
+        let m_ap = a.mem_bytes as f64 / p.mem_bytes as f64;
+        assert!((m_ab - 3.33).abs() < 0.05, "A100/3090 mem ratio {m_ab}");
+        assert!((m_ap - 6.67).abs() < 0.1, "A100/P100 mem ratio {m_ap}");
+    }
+
+    #[test]
+    fn custom_tiers_interpolate_monotonically() {
+        let mut last = 0.0;
+        for tier in 0..5 {
+            let s = DeviceSpec::of(GpuType::Custom(tier));
+            assert!(s.dense_flops > last, "tier {tier} not increasing");
+            last = s.dense_flops;
+        }
+        // Endpoints coincide with the real parts.
+        let t0 = DeviceSpec::of(GpuType::Custom(0));
+        let p = DeviceSpec::of(GpuType::P100);
+        assert!((t0.dense_flops - p.dense_flops).abs() / p.dense_flops < 1e-9);
+        let t4 = DeviceSpec::of(GpuType::Custom(4));
+        let a = DeviceSpec::of(GpuType::A100);
+        assert!((t4.dense_flops - a.dense_flops).abs() / a.dense_flops < 1e-9);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(GpuType::A100.to_string(), "A100");
+        assert_eq!(GpuType::Custom(2).to_string(), "GPU-T2");
+        assert_eq!(DeviceId(3).to_string(), "dev3");
+    }
+}

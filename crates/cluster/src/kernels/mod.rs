@@ -1,0 +1,11 @@
+//! Analytic kernel timing models — the simulated "silicon".
+//!
+//! Two families:
+//! * [`dense`] — parameter-carrying GEMMs (QKV/out-proj/MLP): roofline of
+//!   compute rate vs. weight-streaming bandwidth.
+//! * [`attention`] — the parameter-free KV-bound attention kernel, linear
+//!   in cache bytes and head count exactly as the paper observes (Fig. 7),
+//!   which is what makes Hetis's linear profiling model (Eq. 3) work.
+
+pub mod attention;
+pub mod dense;

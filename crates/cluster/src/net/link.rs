@@ -1,0 +1,97 @@
+//! Point-to-point link model (alpha–beta), as used by the paper (§5.1).
+
+use crate::calib;
+
+/// Physical class of the path between two devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// Same host: PCIe.
+    IntraHost,
+    /// Different hosts: the 100 Gbps LAN.
+    InterHost,
+    /// Same device: no transfer.
+    Loopback,
+}
+
+/// The alpha–beta model: `t(bytes) = alpha + beta * bytes`.
+///
+/// This is the same "well-established linear Alpha–Beta model" the paper
+/// cites for its transfer-overhead modeling (Eq. 4); here it doubles as the
+/// simulated ground truth the Profiler measures against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaBeta {
+    /// Fixed per-message latency (s).
+    pub alpha: f64,
+    /// Inverse bandwidth (s/byte).
+    pub beta: f64,
+}
+
+impl AlphaBeta {
+    /// Transfer time for a message of `bytes`.
+    #[inline]
+    pub fn time(&self, bytes: f64) -> f64 {
+        if bytes <= 0.0 {
+            0.0
+        } else {
+            self.alpha + self.beta * bytes
+        }
+    }
+
+    /// Effective bandwidth in B/s.
+    #[inline]
+    pub fn bandwidth(&self) -> f64 {
+        1.0 / self.beta
+    }
+
+    /// Parameters for a link kind, from the calibration constants.
+    pub fn of(kind: LinkKind) -> AlphaBeta {
+        match kind {
+            LinkKind::IntraHost => AlphaBeta {
+                alpha: calib::PCIE_ALPHA,
+                beta: calib::PCIE_BETA,
+            },
+            LinkKind::InterHost => AlphaBeta {
+                alpha: calib::LAN_ALPHA,
+                beta: calib::LAN_BETA,
+            },
+            LinkKind::Loopback => AlphaBeta {
+                alpha: 0.0,
+                beta: 0.0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_zero_time() {
+        let l = AlphaBeta::of(LinkKind::InterHost);
+        assert_eq!(l.time(0.0), 0.0);
+        assert!(l.time(1.0) > 0.0);
+    }
+
+    #[test]
+    fn loopback_is_free() {
+        let l = AlphaBeta::of(LinkKind::Loopback);
+        assert_eq!(l.time(1e9), 0.0);
+    }
+
+    #[test]
+    fn lan_100gbps() {
+        let l = AlphaBeta::of(LinkKind::InterHost);
+        // 1 GB at 12.5 GB/s = 80 ms plus alpha.
+        let t = l.time(1e9);
+        assert!((t - (0.080 + l.alpha)).abs() < 1e-9, "t = {t}");
+        assert!((l.bandwidth() - 12.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn pcie_faster_than_lan() {
+        let pcie = AlphaBeta::of(LinkKind::IntraHost);
+        let lan = AlphaBeta::of(LinkKind::InterHost);
+        assert!(pcie.time(1e8) < lan.time(1e8));
+    }
+}

@@ -1,0 +1,6 @@
+//! Network model: alpha–beta links, collective cost models, and
+//! low-priority migration streams.
+
+pub mod collective;
+pub mod link;
+pub mod stream;

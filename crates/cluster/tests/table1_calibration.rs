@@ -1,0 +1,91 @@
+//! Integration test: the device model reproduces the paper's Table 1
+//! (OPT-2.7B whole-model iteration times across A100 / 3090 / P100).
+//!
+//! We check *ratios* tightly and absolute times loosely — the simulator is
+//! calibrated, not cycle-accurate (see DESIGN.md §1).
+
+use hetis_cluster::calib::table1;
+use hetis_cluster::{
+    attn_decode_time, attn_prefill_time, dense_decode_time, dense_prefill_time, AttnWork,
+    DenseWork, DeviceSpec, GpuType,
+};
+use hetis_model::{opt_2_7b, DenseOp, ModuleCosts};
+
+/// Whole-model prefill iteration time for `n` requests of `seq` tokens.
+fn prefill_time(spec: &DeviceSpec) -> f64 {
+    let m = opt_2_7b();
+    let costs = ModuleCosts::new(&m);
+    let tokens = table1::PREFILL_REQUESTS * table1::SEQ_LEN;
+    let dense = DenseWork {
+        flops: costs.dense_flops_total(tokens),
+        weight_bytes: m.weight_bytes_per_layer() as f64,
+    };
+    let attn_flops = table1::PREFILL_REQUESTS as f64 * costs.attn_prefill_flops(table1::SEQ_LEN);
+    let per_layer = dense_prefill_time(spec, dense, 3) + attn_prefill_time(spec, attn_flops);
+    per_layer * m.num_layers as f64
+        + (m.vocab_size * m.hidden_size * m.dtype.bytes()) as f64 / spec.decode_stream_bw
+}
+
+/// Whole-model decode iteration time for `n` requests at `seq` context.
+fn decode_time(spec: &DeviceSpec) -> f64 {
+    let m = opt_2_7b();
+    let costs = ModuleCosts::new(&m);
+    let n = table1::DECODE_REQUESTS;
+    let dense = DenseWork {
+        flops: costs.dense_flops_total(n),
+        weight_bytes: m.weight_bytes_per_layer() as f64,
+    };
+    let attn = AttnWork {
+        query_heads: (n * m.num_heads as u64) as f64,
+        kv_bytes: n as f64 * costs.attn_decode_kv_bytes(m.num_heads as u64, table1::SEQ_LEN),
+    };
+    let per_layer = dense_decode_time(spec, dense, 3) + attn_decode_time(spec, attn);
+    per_layer * m.num_layers as f64
+        + (m.vocab_size * m.hidden_size * m.dtype.bytes()) as f64 / spec.decode_stream_bw
+}
+
+fn rel_err(measured: f64, reference: f64) -> f64 {
+    (measured - reference).abs() / reference
+}
+
+#[test]
+fn absolute_times_within_loose_tolerance() {
+    let cases = [
+        (GpuType::A100, table1::A100),
+        (GpuType::Rtx3090, table1::R3090),
+        (GpuType::P100, table1::P100),
+    ];
+    for (gpu, (ref_pf, ref_dc)) in cases {
+        let spec = DeviceSpec::of(gpu);
+        let pf = prefill_time(&spec);
+        let dc = decode_time(&spec);
+        assert!(
+            rel_err(pf, ref_pf) < 0.25,
+            "{gpu:?} prefill {pf:.4}s vs paper {ref_pf}s"
+        );
+        assert!(
+            rel_err(dc, ref_dc) < 0.25,
+            "{gpu:?} decode {dc:.4}s vs paper {ref_dc}s"
+        );
+    }
+}
+
+#[test]
+fn prefill_ratios_match_paper() {
+    let a = prefill_time(&DeviceSpec::of(GpuType::A100));
+    let r = prefill_time(&DeviceSpec::of(GpuType::Rtx3090));
+    let p = prefill_time(&DeviceSpec::of(GpuType::P100));
+    // Paper: 2.45x and 24.5x.
+    assert!(rel_err(r / a, 2.45) < 0.15, "3090/A100 prefill = {}", r / a);
+    assert!(rel_err(p / a, 24.5) < 0.25, "P100/A100 prefill = {}", p / a);
+}
+
+#[test]
+fn decode_ratios_match_paper() {
+    let a = decode_time(&DeviceSpec::of(GpuType::A100));
+    let r = decode_time(&DeviceSpec::of(GpuType::Rtx3090));
+    let p = decode_time(&DeviceSpec::of(GpuType::P100));
+    // Paper: 1.47x and 7.93x.
+    assert!(rel_err(r / a, 1.47) < 0.25, "3090/A100 decode = {}", r / a);
+    assert!(rel_err(p / a, 7.93) < 0.25, "P100/A100 decode = {}", p / a);
+}

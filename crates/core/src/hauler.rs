@@ -1,0 +1,154 @@
+//! The Hauler (§6): head-wise migration planning with overlap reuse.
+//!
+//! Hetis minimizes re-dispatch cost by transferring only the head groups
+//! whose device actually changed (§5.3: "leverages the overlap in head
+//! distribution between the old and new parallelization schemes"). This
+//! module converts head-count placements into group-level migration plans
+//! via `hetis-kvcache`'s planner and estimates their transfer cost; the
+//! engine executes them on low-priority streams.
+
+use hetis_cluster::{Cluster, DeviceId};
+use hetis_engine::HeadPlacement;
+use hetis_kvcache::{plan_migration, MoveOp, Placement};
+use hetis_model::ModelSpec;
+
+/// A planned migration for one request on one stage.
+#[derive(Debug, Clone)]
+pub struct StageMigration {
+    /// Stage index.
+    pub stage: u16,
+    /// Group-level moves.
+    pub moves: Vec<MoveOp>,
+    /// Bytes transferred (all moves).
+    pub bytes: f64,
+    /// Estimated foreground transfer time if it were *not* on a
+    /// low-priority stream (diagnostic; the engine uses the stream model).
+    pub foreground_seconds: f64,
+}
+
+/// Converts a per-stage head placement into group-granular [`Placement`]s
+/// (consecutive group ids per device, deterministic).
+pub fn to_group_placement(placement: &HeadPlacement, stage: usize, r: u32) -> Placement {
+    let counts: Vec<(DeviceId, u32)> = placement.per_stage[stage]
+        .iter()
+        .map(|&(d, h)| (d, h / r))
+        .collect();
+    let mut p = Placement::new();
+    let mut g = 0u16;
+    for (dev, n) in counts {
+        for _ in 0..n {
+            p.assign(hetis_kvcache::GroupId(g), dev.0);
+            g += 1;
+        }
+    }
+    p
+}
+
+/// Plans the migrations turning `old` into `new` for a request with
+/// `tokens` of context, per stage. Groups that stay put are reused free of
+/// charge.
+pub fn plan_redispatch(
+    cluster: &Cluster,
+    model: &ModelSpec,
+    old: &HeadPlacement,
+    new: &HeadPlacement,
+    tokens: u32,
+    stage_layers: &[u32],
+) -> Vec<StageMigration> {
+    let r = model.gqa_ratio();
+    let group_token_bytes = 2 * model.head_dim * model.dtype.bytes();
+    let mut out = Vec::new();
+    for s in 0..old.per_stage.len() {
+        let old_p = to_group_placement(old, s, r);
+        let new_p = to_group_placement(new, s, r);
+        let (moves, _frees) = plan_migration(&old_p, &new_p);
+        if moves.is_empty() {
+            continue;
+        }
+        let per_group_bytes =
+            (tokens as u64 * group_token_bytes * stage_layers[s] as u64) as f64;
+        let bytes = per_group_bytes * moves.len() as f64;
+        let foreground_seconds: f64 = moves
+            .iter()
+            .map(|m| {
+                cluster
+                    .link(DeviceId(m.src), DeviceId(m.dst))
+                    .time(per_group_bytes)
+            })
+            .sum();
+        out.push(StageMigration {
+            stage: s as u16,
+            moves,
+            bytes,
+            foreground_seconds,
+        });
+    }
+    out
+}
+
+/// Fraction of groups reused in place between two placements of a stage —
+/// the overlap statistic that makes re-dispatching cheap.
+pub fn overlap_fraction(old: &HeadPlacement, new: &HeadPlacement, stage: usize, r: u32) -> f64 {
+    let old_p = to_group_placement(old, stage, r);
+    let new_p = to_group_placement(new, stage, r);
+    let total = old_p.len().max(1);
+    let (moves, frees) = plan_migration(&old_p, &new_p);
+    1.0 - (moves.len() + frees.len()) as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetis_cluster::cluster::paper_cluster;
+    use hetis_model::llama_70b;
+
+    fn placement(stage0: &[(u32, u32)]) -> HeadPlacement {
+        HeadPlacement {
+            per_stage: vec![stage0
+                .iter()
+                .map(|&(d, h)| (DeviceId(d), h))
+                .collect()],
+        }
+    }
+
+    #[test]
+    fn identical_placements_no_migration() {
+        let c = paper_cluster();
+        let m = llama_70b();
+        let p = placement(&[(0, 32), (8, 32)]);
+        let plan = plan_redispatch(&c, &m, &p, &p, 1000, &[80]);
+        assert!(plan.is_empty());
+        assert_eq!(overlap_fraction(&p, &p, 0, 8), 1.0);
+    }
+
+    #[test]
+    fn partial_shift_moves_only_difference() {
+        let c = paper_cluster();
+        let m = llama_70b();
+        // 64 heads r=8 → 8 groups; shift 2 groups (16 heads) from dev0 to
+        // dev8 (a P100).
+        let old = placement(&[(0, 48), (8, 16)]);
+        let new = placement(&[(0, 32), (8, 32)]);
+        let plan = plan_redispatch(&c, &m, &old, &new, 1000, &[80]);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].moves.len(), 2);
+        assert!(plan[0].moves.iter().all(|mv| mv.src == 0 && mv.dst == 8));
+        // Bytes: 2 groups × 1000 tokens × 512 B × 80 layers.
+        let expect = 2.0 * 1000.0 * (2 * 128 * 2) as f64 * 80.0;
+        assert!((plan[0].bytes - expect).abs() < 1.0);
+        let overlap = overlap_fraction(&old, &new, 0, 8);
+        assert!((overlap - 0.75).abs() < 1e-9, "overlap {overlap}");
+    }
+
+    #[test]
+    fn full_shift_moves_everything() {
+        let c = paper_cluster();
+        let m = llama_70b();
+        let old = placement(&[(0, 64)]);
+        let new = placement(&[(8, 64)]);
+        let plan = plan_redispatch(&c, &m, &old, &new, 500, &[80]);
+        assert_eq!(plan[0].moves.len(), 8);
+        assert_eq!(overlap_fraction(&old, &new, 0, 8), 0.0);
+        assert!(plan[0].foreground_seconds > 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Partition-granularity analysis (§4.2, Fig. 5): communication overhead
+//! of head-wise vs sequence-wise vs request-wise attention splitting.
+//!
+//! During one decode step of a batch of requests on one layer:
+//!
+//! * **Head-wise** (Hetis): each worker holding `hᵢ` query heads receives
+//!   that head-chunk of `q` plus the new `k,v` for its KV groups and
+//!   returns its partial output — `(2 + 2/r)·hᵢ·d_head·bytes` per request
+//!   per worker; no softmax merge is needed because heads are independent.
+//! * **Sequence-wise**: every worker holding a *token range* needs the
+//!   full `q` of all heads, returns full-width partial attention values
+//!   plus softmax statistics for the merge — the `q` replication the
+//!   paper calls out ("its q vector … must be replicated and transferred
+//!   multiple times") — and the tail worker additionally receives the new
+//!   token's `k,v`.
+//! * **Request-wise**: whole requests move; steady-state decode traffic
+//!   is the full hidden state to/from the owning worker, and every
+//!   rebalancing migrates entire KV caches (the fragmentation/migration
+//!   cost §4.2 rejects).
+//!
+//! Chunks of all requests headed for the same worker travel in one
+//! message per layer (as NCCL P2P batching does), and the per-worker
+//! messages serialize through the primary's NIC.
+
+use hetis_cluster::AlphaBeta;
+use hetis_model::ModelSpec;
+
+/// Per-layer communication time to offload `offload_frac` of a
+/// `batch`-request decode step's attention to `workers` equal shares,
+/// head-wise.
+pub fn headwise_overhead(
+    model: &ModelSpec,
+    link: AlphaBeta,
+    batch: u64,
+    offload_frac: f64,
+    workers: usize,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&offload_frac));
+    if workers == 0 || offload_frac == 0.0 || batch == 0 {
+        return 0.0;
+    }
+    let r = model.gqa_ratio() as f64;
+    let bytes_total = (2.0 + 2.0 / r)
+        * offload_frac
+        * batch as f64
+        * model.num_heads as f64
+        * model.head_dim as f64
+        * model.dtype.bytes() as f64;
+    let per_worker = bytes_total / workers as f64;
+    // One request+one response message per worker per layer, serialized.
+    (0..workers)
+        .map(|_| 2.0 * link.alpha + per_worker * link.beta)
+        .sum()
+}
+
+/// Per-layer communication time for the same offload done sequence-wise:
+/// full-width `q` to every worker holding a token range, full-width
+/// partial values + softmax statistics back, and the new `k,v` to the
+/// tail worker.
+pub fn seqwise_overhead(
+    model: &ModelSpec,
+    link: AlphaBeta,
+    batch: u64,
+    offload_frac: f64,
+    workers: usize,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&offload_frac));
+    if workers == 0 || offload_frac == 0.0 || batch == 0 {
+        return 0.0;
+    }
+    let hidden_bytes =
+        batch as f64 * model.num_heads as f64 * model.head_dim as f64 * model.dtype.bytes() as f64;
+    // Softmax merge statistics: one max + one sum per head per worker.
+    let stats_bytes = 2.0 * batch as f64 * model.num_heads as f64 * model.dtype.bytes() as f64;
+    // New token's k,v appends to the tail worker only.
+    let kv_bytes = (2.0 / model.gqa_ratio() as f64) * hidden_bytes;
+    let per_worker = 2.0 * hidden_bytes + stats_bytes;
+    (0..workers)
+        .map(|_| 2.0 * link.alpha + per_worker * link.beta)
+        .sum::<f64>()
+        + kv_bytes * link.beta
+}
+
+/// Per-layer steady-state communication of request-wise splitting for the
+/// offloaded sub-batch: hidden states cross to the owning worker and back
+/// each layer (QKV/MLP weights stay on the primary).
+pub fn requestwise_overhead(
+    model: &ModelSpec,
+    link: AlphaBeta,
+    batch: u64,
+    offload_frac: f64,
+    workers: usize,
+) -> f64 {
+    if workers == 0 || offload_frac == 0.0 || batch == 0 {
+        return 0.0;
+    }
+    let moved = (batch as f64 * offload_frac).ceil();
+    let hidden_bytes = moved * model.hidden_state_bytes_per_token() as f64;
+    let per_worker = 2.0 * hidden_bytes / workers as f64;
+    (0..workers)
+        .map(|_| 2.0 * link.alpha + per_worker * link.beta)
+        .sum()
+}
+
+/// One-off migration bytes when request-wise rebalancing moves a request
+/// of `context` tokens (whole-model KV) — the cost head-wise splitting
+/// avoids through partial transfers.
+pub fn requestwise_migration_bytes(model: &ModelSpec, context: u64) -> f64 {
+    (hetis_model::KvFootprint::new(model).bytes_per_token() * context) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetis_cluster::LinkKind;
+    use hetis_model::{llama_70b, opt_30b};
+
+    fn lan() -> AlphaBeta {
+        AlphaBeta::of(LinkKind::InterHost)
+    }
+
+    const BATCH: u64 = 128;
+
+    #[test]
+    fn headwise_beats_seqwise_at_partial_offload() {
+        // Fig. 5a: at 20% offload to one worker, head-wise wins ~2.7x.
+        let m = llama_70b();
+        let h = headwise_overhead(&m, lan(), BATCH, 0.2, 1);
+        let s = seqwise_overhead(&m, lan(), BATCH, 0.2, 1);
+        let ratio = s / h;
+        assert!(
+            (2.0..5.5).contains(&ratio),
+            "ratio {ratio} outside the Fig. 5a band"
+        );
+    }
+
+    #[test]
+    fn headwise_advantage_grows_with_workers() {
+        // Fig. 5b: four workers, even split → up to ~3.55x.
+        let m = llama_70b();
+        let r1 = seqwise_overhead(&m, lan(), BATCH, 1.0, 1)
+            / headwise_overhead(&m, lan(), BATCH, 1.0, 1);
+        let r4 = seqwise_overhead(&m, lan(), BATCH, 1.0, 4)
+            / headwise_overhead(&m, lan(), BATCH, 1.0, 4);
+        assert!(r4 > r1, "advantage must grow: {r1} → {r4}");
+        assert!((2.5..4.5).contains(&r4), "4-worker ratio {r4}");
+    }
+
+    #[test]
+    fn headwise_scales_with_offload_fraction() {
+        let m = llama_70b();
+        let h20 = headwise_overhead(&m, lan(), BATCH, 0.2, 1);
+        let h80 = headwise_overhead(&m, lan(), BATCH, 0.8, 1);
+        assert!(h80 > 2.0 * h20);
+        // Seq-wise does not care about the fraction (full q either way).
+        let s20 = seqwise_overhead(&m, lan(), BATCH, 0.2, 1);
+        let s80 = seqwise_overhead(&m, lan(), BATCH, 0.8, 1);
+        assert_eq!(s20, s80);
+    }
+
+    #[test]
+    fn absolute_overheads_in_fig5_band() {
+        // Fig. 5's y-axis runs 0.1–0.5 ms (a) and 0.5–1.5 ms (b) for
+        // Llama-70B over 100 Gbps.
+        let m = llama_70b();
+        let a = seqwise_overhead(&m, lan(), BATCH, 0.2, 1);
+        assert!((5e-5..1e-3).contains(&a), "fig5a seq-wise point {a}");
+        let b = seqwise_overhead(&m, lan(), BATCH, 1.0, 4);
+        assert!((2e-4..3e-3).contains(&b), "fig5b seq-wise point {b}");
+    }
+
+    #[test]
+    fn mha_models_transfer_more_per_head() {
+        // r=1 → (2+2/r) = 4 vs 2.25 for GQA r=8.
+        let gqa = llama_70b();
+        let mha = opt_30b();
+        let g = headwise_overhead(&gqa, lan(), BATCH, 1.0, 1);
+        let m = headwise_overhead(&mha, lan(), BATCH, 1.0, 1);
+        let g_per = g / (gqa.num_heads as f64 * gqa.head_dim as f64);
+        let m_per = m / (mha.num_heads as f64 * mha.head_dim as f64);
+        assert!(m_per > g_per);
+    }
+
+    #[test]
+    fn requestwise_migration_is_enormous() {
+        let m = llama_70b();
+        let mig = requestwise_migration_bytes(&m, 2000);
+        assert!(mig > 5e8);
+        let step = headwise_overhead(&m, lan(), 1, 1.0, 1);
+        assert!(mig * lan().beta > 100.0 * step);
+    }
+
+    #[test]
+    fn requestwise_cheap_per_step_but_rigid() {
+        // Request-wise moves less per step than head-wise (only hidden
+        // states) — its cost is migration and coarse control, not steady
+        // traffic. The ablation bench shows the trade-off end to end.
+        let m = llama_70b();
+        let rw = requestwise_overhead(&m, lan(), BATCH, 0.5, 2);
+        assert!(rw > 0.0);
+    }
+
+    #[test]
+    fn zero_cases() {
+        let m = llama_70b();
+        assert_eq!(headwise_overhead(&m, lan(), BATCH, 0.0, 4), 0.0);
+        assert_eq!(headwise_overhead(&m, lan(), BATCH, 0.5, 0), 0.0);
+        assert_eq!(headwise_overhead(&m, lan(), 0, 0.5, 2), 0.0);
+        assert_eq!(seqwise_overhead(&m, lan(), 0, 0.5, 2), 0.0);
+        assert_eq!(requestwise_overhead(&m, lan(), BATCH, 0.0, 2), 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Engine tuning knobs.
+
+/// Engine configuration, mirroring vLLM's serving knobs where they exist.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Tokens per KV block (vLLM default 16).
+    pub block_size: u32,
+    /// Prefill token budget per iteration (vLLM `max_num_batched_tokens`).
+    pub max_batch_tokens: u64,
+    /// Maximum concurrently running sequences per instance.
+    pub max_running: usize,
+    /// Multiplicative kernel-time jitter amplitude (0 = deterministic).
+    /// The profiling-accuracy experiment raises this.
+    pub kernel_jitter: f64,
+    /// RNG seed for jitter.
+    pub seed: u64,
+    /// Period of cache/head time-series sampling, seconds (Fig. 14).
+    pub trace_sample_period: f64,
+    /// Stop simulating this long after the last arrival even if requests
+    /// are still running (guards against pathological stalls).
+    pub drain_timeout: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            block_size: 16,
+            max_batch_tokens: 8192,
+            max_running: 512,
+            kernel_jitter: 0.0,
+            seed: 0xC0FFEE,
+            trace_sample_period: 1.0,
+            drain_timeout: 600.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let c = EngineConfig::default();
+        assert_eq!(c.block_size, 16);
+        assert!(c.max_batch_tokens >= 2048);
+        assert!(c.kernel_jitter == 0.0);
+    }
+}

@@ -1,0 +1,1018 @@
+//! The discrete-event serving engine.
+//!
+//! One [`Engine`] simulates a full serving deployment: arrivals enter
+//! instance waiting queues, cohorts ("virtual engines", one per pipeline
+//! stage) form prefill/decode microbatches under continuous batching,
+//! stages execute as FIFO resources with calibrated timing, and the
+//! plugged-in [`Policy`] decides placement, hand-offs, re-dispatching and
+//! victims.
+
+use crate::config::EngineConfig;
+use crate::memory::KvState;
+use crate::metrics::{CompletedRequest, ModuleSample, RunReport, TraceSample};
+use crate::policy::{Policy, PolicyCtx, VictimAction};
+use crate::request::{Phase, RunningRequest};
+use crate::stage::{decode_stage_breakdown, prefill_stage_breakdown, AttnLoad, StageBreakdown};
+use crate::topology::{HeadPlacement, InstanceRole, Topology};
+use hetis_cluster::{AttnWork, Cluster, DeviceId, MigrationStream};
+use hetis_model::ModelSpec;
+use hetis_parallel::{device_weight_bytes, InstanceConfig, ParallelConfig, PrefillBatch};
+use hetis_sim::{Clock, EventQueue, FifoQueue, SimTime, SplitMix64};
+use hetis_workload::{RequestId, Trace};
+use std::collections::HashMap;
+
+/// Engine events.
+#[derive(Debug, Clone)]
+enum Event {
+    /// The `i`-th trace request arrives.
+    Arrival(usize),
+    /// A microbatch finished its last stage.
+    UbatchDone { inst: usize, cohort: usize },
+    /// A KV migration (scatter / hand-off / re-dispatch) landed.
+    MigrationDone { req: RequestId },
+    /// Periodic resource sampling.
+    Sample,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UbatchKind {
+    Prefill,
+    Decode,
+}
+
+#[derive(Debug, Clone)]
+struct Ubatch {
+    kind: UbatchKind,
+    reqs: Vec<RequestId>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Cohort {
+    /// Decoding-phase requests owned by this cohort.
+    members: Vec<RequestId>,
+    in_flight: Option<Ubatch>,
+}
+
+#[derive(Debug)]
+struct InstanceState {
+    waiting: FifoQueue<RequestId>,
+    /// Hand-offs blocked on decode-side memory (Splitwise).
+    pending_handoff: FifoQueue<RequestId>,
+    cohorts: Vec<Cohort>,
+    stage_free_at: Vec<SimTime>,
+}
+
+/// Builds a [`PolicyCtx`] from engine fields without borrowing the whole
+/// engine (keeps `self.policy` callable).
+macro_rules! ctx {
+    ($self:ident) => {
+        PolicyCtx {
+            cluster: $self.cluster,
+            model: $self.model,
+            now: $self.clock.now().as_secs(),
+            kv: &$self.kv,
+            requests: &$self.requests,
+            topology: &$self.topo,
+        }
+    };
+}
+
+/// The serving-engine simulator. Construct with [`run`] unless a test
+/// needs step-level control.
+pub struct Engine<'a, P: Policy> {
+    cluster: &'a Cluster,
+    model: &'a ModelSpec,
+    cfg: EngineConfig,
+    policy: P,
+    topo: Topology,
+    kv: KvState,
+    requests: HashMap<RequestId, RunningRequest>,
+    instances: Vec<InstanceState>,
+    events: EventQueue<Event>,
+    clock: Clock,
+    jitter: SplitMix64,
+    migration: MigrationStream,
+    trace_requests: Vec<hetis_workload::Request>,
+    last_arrival: f64,
+    // report accumulators
+    completed: Vec<CompletedRequest>,
+    module_samples: Vec<ModuleSample>,
+    trace_samples: Vec<TraceSample>,
+    preemptions: u64,
+    migrations: u64,
+    migrated_bytes: f64,
+}
+
+/// Runs `policy` over `trace` on `cluster`/`model`; returns the report.
+pub fn run<P: Policy>(
+    mut policy: P,
+    cluster: &Cluster,
+    model: &ModelSpec,
+    cfg: EngineConfig,
+    trace: &Trace,
+) -> RunReport {
+    let topo = policy.topology(cluster, model, &cfg);
+    let mut engine = Engine::new(policy, cluster, model, cfg, topo, trace);
+    engine.run_to_completion();
+    engine.into_report()
+}
+
+impl<'a, P: Policy> Engine<'a, P> {
+    /// Builds an engine over a fixed topology and trace.
+    pub fn new(
+        policy: P,
+        cluster: &'a Cluster,
+        model: &'a ModelSpec,
+        cfg: EngineConfig,
+        topo: Topology,
+        trace: &Trace,
+    ) -> Self {
+        // Weight placement from the primary stages.
+        let pcfg = ParallelConfig {
+            instances: topo
+                .instances
+                .iter()
+                .map(|i| InstanceConfig {
+                    stages: i.stages.iter().map(|s| s.primary.clone()).collect(),
+                })
+                .collect(),
+        };
+        pcfg.validate(cluster, model)
+            .expect("policy produced an invalid topology");
+        let weights = device_weight_bytes(&pcfg, model);
+        let kv = KvState::new(cluster, model, cfg.block_size, &weights)
+            .expect("weights must fit the topology");
+
+        let instances = topo
+            .instances
+            .iter()
+            .map(|i| InstanceState {
+                waiting: FifoQueue::new(),
+                pending_handoff: FifoQueue::new(),
+                cohorts: (0..i.depth()).map(|_| Cohort::default()).collect(),
+                stage_free_at: vec![SimTime::ZERO; i.depth()],
+            })
+            .collect();
+
+        let mut events = EventQueue::new();
+        for (i, _) in trace.requests().iter().enumerate() {
+            events.schedule(SimTime::from_secs(trace.requests()[i].arrival), Event::Arrival(i));
+        }
+        let last_arrival = trace.horizon();
+        if cfg.trace_sample_period > 0.0 {
+            events.schedule(SimTime::from_secs(cfg.trace_sample_period), Event::Sample);
+        }
+
+        Engine {
+            cluster,
+            model,
+            jitter: SplitMix64::new(cfg.seed),
+            cfg,
+            policy,
+            topo,
+            kv,
+            requests: HashMap::new(),
+            instances,
+            events,
+            clock: Clock::new(),
+            migration: MigrationStream::new(),
+            trace_requests: trace.requests().to_vec(),
+            last_arrival,
+            completed: Vec::new(),
+            module_samples: Vec::new(),
+            trace_samples: Vec::new(),
+            preemptions: 0,
+            migrations: 0,
+            migrated_bytes: 0.0,
+        }
+    }
+
+    /// Drives the event loop until quiescence or drain timeout.
+    pub fn run_to_completion(&mut self) {
+        let deadline = self.last_arrival + self.cfg.drain_timeout;
+        while let Some((at, event)) = self.events.pop() {
+            if at.as_secs() > deadline {
+                break;
+            }
+            self.clock.advance_to(at);
+            match event {
+                Event::Arrival(i) => self.on_arrival(i),
+                Event::UbatchDone { inst, cohort } => self.on_ubatch_done(inst, cohort),
+                Event::MigrationDone { req } => self.on_migration_done(req),
+                Event::Sample => self.on_sample(),
+            }
+        }
+    }
+
+    /// Consumes the engine into its report.
+    pub fn into_report(self) -> RunReport {
+        let mut used: Vec<DeviceId> = self
+            .topo
+            .instances
+            .iter()
+            .flat_map(|i| i.stages.iter().flat_map(|s| s.attention_devices()))
+            .collect();
+        used.sort();
+        used.dedup();
+        let total_kv_pool_bytes = self.kv.total_pool(&used);
+        let usable_kv_bytes = crate::memory::usable_kv_bytes(self.model, &self.topo, &self.kv);
+        let unfinished = self
+            .requests
+            .values()
+            .filter(|r| r.phase != Phase::Done)
+            .count();
+        RunReport {
+            policy: self.policy.name(),
+            completed: self.completed,
+            unfinished,
+            module_samples: self.module_samples,
+            trace: self.trace_samples,
+            duration: self.clock.now().as_secs(),
+            total_kv_pool_bytes,
+            usable_kv_bytes,
+            preemptions: self.preemptions,
+            migrations: self.migrations,
+            migrated_bytes: self.migrated_bytes,
+        }
+    }
+
+    // ------------------------------------------------------------- events
+
+    fn on_arrival(&mut self, idx: usize) {
+        let req = self.trace_requests[idx];
+        let inst = self.policy.route(&req, &ctx!(self));
+        assert!(inst < self.instances.len(), "routed to unknown instance");
+        self.requests.insert(req.id, RunningRequest::new(req, inst));
+        self.instances[inst].waiting.enqueue(req.id);
+        self.try_dispatch(inst);
+    }
+
+    fn on_ubatch_done(&mut self, inst: usize, cohort: usize) {
+        let now = self.clock.now().as_secs();
+        let ub = self.instances[inst].cohorts[cohort]
+            .in_flight
+            .take()
+            .expect("completion without in-flight microbatch");
+        match ub.kind {
+            UbatchKind::Prefill => {
+                for rid in ub.reqs {
+                    let r = self.requests.get_mut(&rid).expect("live request");
+                    r.in_flight = false;
+                    r.push_token(now);
+                    if r.is_complete() {
+                        self.finish(rid);
+                        continue;
+                    }
+                    let handoff = self.policy.after_prefill(inst, rid, &ctx!(self));
+                    match handoff {
+                        Some(h) => self.start_handoff(rid, h.target_instance),
+                        None => self.start_decoding_after_scatter(rid, inst, cohort),
+                    }
+                }
+            }
+            UbatchKind::Decode => {
+                for rid in ub.reqs {
+                    let r = self.requests.get_mut(&rid).expect("live request");
+                    r.in_flight = false;
+                    r.push_token(now);
+                    if r.is_complete() {
+                        self.finish(rid);
+                    }
+                }
+            }
+        }
+        self.try_dispatch(inst);
+    }
+
+    fn on_migration_done(&mut self, rid: RequestId) {
+        let Some(r) = self.requests.get_mut(&rid) else {
+            return;
+        };
+        if r.phase != Phase::Migrating {
+            return;
+        }
+        r.phase = Phase::Decoding;
+        let inst = r.instance;
+        self.ensure_cohort_member(inst, rid);
+        self.try_dispatch(inst);
+    }
+
+    fn on_sample(&mut self) {
+        let now = self.clock.now().as_secs();
+        let r = self.model.gqa_ratio();
+        let devices = self
+            .cluster
+            .devices()
+            .iter()
+            .map(|d| {
+                let kv = self.kv.device(d.id);
+                (d.id, kv.utilization(), kv.resident_query_heads(r))
+            })
+            .collect();
+        self.trace_samples.push(TraceSample { time: now, devices });
+        // Keep sampling while anything remains to happen.
+        let active = self.requests.values().any(|r| r.phase != Phase::Done);
+        if active || !self.events.is_empty() {
+            self.events.schedule(
+                self.clock.now() + self.cfg.trace_sample_period,
+                Event::Sample,
+            );
+        }
+    }
+
+    // ---------------------------------------------------------- dispatch
+
+    fn try_dispatch(&mut self, inst: usize) {
+        self.drain_pending_handoffs(inst);
+
+        // Re-dispatch hook (Hetis §5.3) before forming decode batches.
+        if self.topo.instances[inst].role != InstanceRole::PrefillOnly {
+            let ops = self.policy.before_decode(inst, &ctx!(self));
+            for op in ops {
+                self.execute_redispatch(op.req, op.new_placement);
+            }
+        }
+
+        let depth = self.topo.instances[inst].depth();
+        for c in 0..depth {
+            if self.instances[inst].cohorts[c].in_flight.is_some() {
+                continue;
+            }
+            if !self.try_form_prefill(inst, c) {
+                self.try_form_decode(inst, c);
+            }
+        }
+    }
+
+    fn running_count(&self, inst: usize) -> usize {
+        self.requests
+            .values()
+            .filter(|r| {
+                r.instance == inst
+                    && matches!(r.phase, Phase::Prefilling | Phase::Decoding | Phase::Migrating)
+            })
+            .count()
+    }
+
+    fn try_form_prefill(&mut self, inst: usize, cohort: usize) -> bool {
+        if self.topo.instances[inst].role == InstanceRole::DecodeOnly {
+            return false;
+        }
+        if self.instances[inst].waiting.is_empty() {
+            return false;
+        }
+        let running = self.running_count(inst);
+        if running >= self.cfg.max_running {
+            return false;
+        }
+
+        // Pull admission candidates under the token budget.
+        let mut candidates: Vec<RequestId> = Vec::new();
+        let mut tokens = 0u64;
+        loop {
+            let Some(&rid) = self.instances[inst].waiting.peek() else {
+                break;
+            };
+            let eff = self.requests[&rid].effective_input as u64;
+            if !candidates.is_empty()
+                && (tokens + eff > self.cfg.max_batch_tokens
+                    || running + candidates.len() >= self.cfg.max_running)
+            {
+                break;
+            }
+            self.instances[inst].waiting.dequeue();
+            candidates.push(rid);
+            tokens += eff;
+        }
+        if candidates.is_empty() {
+            return false;
+        }
+
+        // Joint placement of the admission batch (the paper's J(t)).
+        let pairs: Vec<(RequestId, u32)> = candidates
+            .iter()
+            .map(|&rid| (rid, self.requests[&rid].effective_input))
+            .collect();
+        let placements = self.policy.place_batch(inst, &pairs, &ctx!(self));
+        assert_eq!(placements.len(), candidates.len());
+
+        let mut admitted: Vec<RequestId> = Vec::new();
+        let mut blocked_from: Option<usize> = None;
+        for (k, (rid, placement)) in candidates.iter().zip(placements).enumerate() {
+            let ok = placement
+                .map(|p| self.try_alloc_prompt(*rid, p))
+                .unwrap_or(false);
+            if ok {
+                admitted.push(*rid);
+            } else {
+                blocked_from = Some(k);
+                break;
+            }
+        }
+        // FIFO: re-queue the blocked request and everything after it.
+        if let Some(k) = blocked_from {
+            for &rid in candidates[k..].iter().rev() {
+                self.instances[inst].waiting.requeue_front(rid);
+            }
+        }
+        if admitted.is_empty() {
+            return false;
+        }
+
+        let now = self.clock.now().as_secs();
+        let mut batch = PrefillBatch::default();
+        for &rid in &admitted {
+            let r = self.requests.get_mut(&rid).expect("live");
+            r.phase = Phase::Prefilling;
+            r.cohort = cohort;
+            r.in_flight = true;
+            r.admitted_at = Some(now);
+            let l = r.effective_input as u64;
+            batch.seqs += 1;
+            batch.tokens += l;
+            batch.sq_sum += (l * l) as f64;
+        }
+
+        // Walk the pipeline.
+        let done = self.schedule_pipeline(inst, |engine, s, lm_head| {
+            prefill_stage_breakdown(
+                engine.cluster,
+                engine.model,
+                &engine.topo.instances[inst].stages[s],
+                &batch,
+                lm_head,
+            )
+        }, batch.tokens);
+
+        self.instances[inst].cohorts[cohort].in_flight = Some(Ubatch {
+            kind: UbatchKind::Prefill,
+            reqs: admitted,
+        });
+        self.events.schedule(done, Event::UbatchDone { inst, cohort });
+        true
+    }
+
+    fn try_form_decode(&mut self, inst: usize, cohort: usize) -> bool {
+        if self.topo.instances[inst].role == InstanceRole::PrefillOnly {
+            return false;
+        }
+        let ready: Vec<RequestId> = self.instances[inst].cohorts[cohort]
+            .members
+            .iter()
+            .copied()
+            .filter(|rid| self.requests[rid].phase == Phase::Decoding)
+            .collect();
+        if ready.is_empty() {
+            return false;
+        }
+
+        // Allocate the next token's KV (policy handles exhaustion).
+        let mut batch: Vec<RequestId> = Vec::new();
+        for rid in ready {
+            // The request may have been evicted/migrated by a victim
+            // decision taken for an earlier member.
+            if self.requests[&rid].phase != Phase::Decoding {
+                continue;
+            }
+            if self.try_append_token(inst, rid) {
+                batch.push(rid);
+            }
+        }
+        // A victim decision taken for a *later* member can evict or
+        // migrate a request that already joined the batch — drop it (its
+        // KV, including the appended token, was released by the eviction).
+        batch.retain(|rid| self.requests[rid].phase == Phase::Decoding);
+        if batch.is_empty() {
+            return false;
+        }
+
+        // Attention loads per stage from head placements.
+        let n_stages = self.topo.instances[inst].depth();
+        let mut stage_loads: Vec<Vec<AttnLoad>> = Vec::with_capacity(n_stages);
+        let r = self.model.gqa_ratio() as u64;
+        let unit = 2 * self.model.head_dim * self.model.dtype.bytes();
+        for s in 0..n_stages {
+            let mut per_dev: HashMap<DeviceId, AttnWork> = HashMap::new();
+            for rid in &batch {
+                let req = &self.requests[rid];
+                let ctx_len = req.context_len() as u64 + 1;
+                let placement = req.placement.as_ref().expect("decoding request placed");
+                for &(dev, heads) in &placement.per_stage[s] {
+                    let w = per_dev.entry(dev).or_default();
+                    w.query_heads += heads as f64;
+                    w.kv_bytes += (heads as u64 / r * ctx_len * unit) as f64;
+                }
+            }
+            let primary = &self.topo.instances[inst].stages[s].primary.devices;
+            let mut loads: Vec<AttnLoad> = per_dev
+                .into_iter()
+                .map(|(device, work)| AttnLoad {
+                    device,
+                    work,
+                    remote: !primary.contains(&device),
+                })
+                .collect();
+            loads.sort_by_key(|l| l.device);
+            stage_loads.push(loads);
+        }
+
+        let for_flight = batch.clone();
+        for rid in &batch {
+            self.requests.get_mut(rid).expect("live").in_flight = true;
+        }
+
+        let dense_tokens = batch.len() as u64;
+        let mut max_mlp = 0.0_f64;
+        let mut max_attn = 0.0_f64;
+        let done = self.schedule_pipeline(inst, |engine, s, lm_head| {
+            let b = decode_stage_breakdown(
+                engine.cluster,
+                engine.model,
+                &engine.topo.instances[inst].stages[s],
+                dense_tokens,
+                &stage_loads[s],
+                lm_head,
+            );
+            max_mlp = max_mlp.max(b.mlp);
+            max_attn = max_attn.max(b.attn);
+            b
+        }, dense_tokens);
+
+        self.module_samples.push(ModuleSample {
+            time: self.clock.now().as_secs(),
+            mlp: max_mlp * n_stages as f64,
+            attn: max_attn * n_stages as f64,
+        });
+
+        self.instances[inst].cohorts[cohort].in_flight = Some(Ubatch {
+            kind: UbatchKind::Decode,
+            reqs: for_flight,
+        });
+        self.events.schedule(done, Event::UbatchDone { inst, cohort });
+        true
+    }
+
+    /// Walks a microbatch through the instance's stages as FIFO resources;
+    /// returns the completion time. `breakdown(engine, stage, lm_head)`
+    /// computes each stage's time.
+    fn schedule_pipeline<F>(&mut self, inst: usize, mut breakdown: F, tokens: u64) -> SimTime
+    where
+        F: FnMut(&Self, usize, bool) -> StageBreakdown,
+    {
+        let n = self.topo.instances[inst].depth();
+        let mut arrive = self.clock.now();
+        for s in 0..n {
+            let lm_head = s + 1 == n;
+            let b = breakdown(self, s, lm_head);
+            let t = if self.cfg.kernel_jitter > 0.0 {
+                b.total * self.jitter.jitter(self.cfg.kernel_jitter)
+            } else {
+                b.total
+            };
+            let start = arrive.max(self.instances[inst].stage_free_at[s]);
+            let done = start + t;
+            self.instances[inst].stage_free_at[s] = done;
+            arrive = done;
+            if s + 1 < n {
+                let from = &self.topo.instances[inst].stages[s].primary.devices;
+                let to = &self.topo.instances[inst].stages[s + 1].primary.devices;
+                let mut worst = self.cluster.link(from[0], to[0]);
+                for &a in from {
+                    for &b2 in to {
+                        let l = self.cluster.link(a, b2);
+                        if l.beta > worst.beta {
+                            worst = l;
+                        }
+                    }
+                }
+                let bytes = (tokens * self.model.hidden_state_bytes_per_token()) as f64;
+                arrive = arrive + worst.time(bytes);
+            }
+        }
+        arrive
+    }
+
+    // ------------------------------------------------------ KV operations
+
+    /// Allocates the prompt KV of `rid` per `placement`; on failure undoes
+    /// everything and returns false.
+    fn try_alloc_prompt(&mut self, rid: RequestId, placement: HeadPlacement) -> bool {
+        let r = &self.requests[&rid];
+        let tokens = r.effective_input;
+        let gqa = self.model.gqa_ratio();
+        if placement
+            .validate(self.model.num_heads, gqa)
+            .is_err()
+        {
+            return false;
+        }
+        let mut done: Vec<DeviceId> = Vec::new();
+        for (s, stage_pl) in placement.per_stage.iter().enumerate() {
+            let layers = self.topo.instances[r.instance].stages[s].primary.layers;
+            for &(dev, heads) in stage_pl {
+                let groups = heads / gqa;
+                let res = self
+                    .kv
+                    .device_mut(dev)
+                    .allocate(rid, s as u16, groups, tokens, layers);
+                if res.is_err() {
+                    for &d in &done {
+                        self.kv.device_mut(d).free_request(rid);
+                    }
+                    // Also free any later-stage entries on the same device
+                    // (free_request already removes all stages per device).
+                    return false;
+                }
+                if !done.contains(&dev) {
+                    done.push(dev);
+                }
+            }
+        }
+        self.requests.get_mut(&rid).expect("live").placement = Some(placement);
+        true
+    }
+
+    /// Appends one decode token's KV across the request's devices,
+    /// consulting the policy on exhaustion. Returns false when the request
+    /// cannot proceed this iteration.
+    fn try_append_token(&mut self, inst: usize, rid: RequestId) -> bool {
+        // Bounded victim loop: each pass either frees memory or stalls.
+        for _ in 0..64 {
+            let devices = self.requests[&rid]
+                .placement
+                .as_ref()
+                .expect("decoding request placed")
+                .devices();
+            let blocked = devices.iter().copied().find(|&d| {
+                let kv = self.kv.device(d);
+                kv.append_cost(rid) > kv.free_bytes()
+            });
+            let Some(dev) = blocked else {
+                for &d in &devices {
+                    self.kv
+                        .device_mut(d)
+                        .append_token(rid)
+                        .expect("checked headroom");
+                }
+                return true;
+            };
+            let action = self.policy.select_victim(inst, dev, rid, &ctx!(self));
+            match action {
+                VictimAction::Evict(victim) => {
+                    self.evict(victim);
+                    if victim == rid {
+                        return false;
+                    }
+                }
+                VictimAction::Redispatch(victim, placement) => {
+                    if !self.execute_redispatch(victim, placement) {
+                        // The planned grows no longer fit (block rounding,
+                        // racing allocations): fall back to eviction so
+                        // the loop always makes progress.
+                        self.evict(victim);
+                        if victim == rid {
+                            return false;
+                        }
+                    } else if victim == rid {
+                        // rid is migrating now; it decodes after landing.
+                        return false;
+                    }
+                }
+                VictimAction::Stall => return false,
+            }
+        }
+        false
+    }
+
+    /// Recompute-preempts a request: KV freed everywhere, back to waiting.
+    fn evict(&mut self, rid: RequestId) {
+        let r = self.requests.get_mut(&rid).expect("live");
+        assert!(!r.in_flight, "cannot evict an in-flight request");
+        let inst = r.instance;
+        r.preempt_recompute();
+        for d in 0..self.kv.len() {
+            self.kv.device_mut(DeviceId(d as u32)).free_request(rid);
+        }
+        self.remove_cohort_member(inst, rid);
+        self.instances[inst].waiting.requeue_front(rid);
+        self.preemptions += 1;
+    }
+
+    /// Applies a re-dispatch: alloc grows, free shrinks, schedule the
+    /// transfer, pause the request until it lands. Returns false if the
+    /// grows don't fit or the request is not re-dispatchable.
+    fn execute_redispatch(&mut self, rid: RequestId, new_placement: HeadPlacement) -> bool {
+        let Some(r) = self.requests.get(&rid) else {
+            return false;
+        };
+        if r.phase != Phase::Decoding || r.in_flight {
+            return false;
+        }
+        let gqa = self.model.gqa_ratio();
+        if new_placement.validate(self.model.num_heads, gqa).is_err() {
+            return false;
+        }
+        let old = r.placement.clone().expect("decoding request placed");
+        if old == new_placement {
+            return false;
+        }
+        let inst = r.instance;
+
+        // Token count from any resident entry (uniform across devices).
+        let tokens = old.per_stage[0]
+            .first()
+            .and_then(|&(d, _)| self.kv.device(d).entry(rid, 0))
+            .map(|e| e.tokens)
+            .expect("resident entry");
+
+        // Per-stage grow/shrink sets.
+        let mut grows: Vec<(DeviceId, u16, u32, u32)> = Vec::new(); // dev, stage, groups, layers
+        let mut shrinks: Vec<(DeviceId, u16, u32)> = Vec::new();
+        for s in 0..new_placement.per_stage.len() {
+            let layers = self.topo.instances[inst].stages[s].primary.layers;
+            let mut devs: Vec<DeviceId> = old.per_stage[s]
+                .iter()
+                .map(|&(d, _)| d)
+                .chain(new_placement.per_stage[s].iter().map(|&(d, _)| d))
+                .collect();
+            devs.sort();
+            devs.dedup();
+            for d in devs {
+                let before = old.heads_on(s, d) / gqa;
+                let after = new_placement.heads_on(s, d) / gqa;
+                if after > before {
+                    grows.push((d, s as u16, after - before, layers));
+                } else if before > after {
+                    shrinks.push((d, s as u16, before - after));
+                }
+            }
+        }
+        if grows.is_empty() && shrinks.is_empty() {
+            return false;
+        }
+
+        // All-or-nothing: allocate grows first.
+        let mut applied: Vec<(DeviceId, u16, u32)> = Vec::new();
+        for &(d, s, g, layers) in &grows {
+            if self
+                .kv
+                .device_mut(d)
+                .grow_groups(rid, s, g, tokens, layers)
+                .is_err()
+            {
+                for &(d2, s2, g2) in &applied {
+                    self.kv.device_mut(d2).shrink_groups(rid, s2, g2);
+                }
+                return false;
+            }
+            applied.push((d, s, g));
+        }
+        let mut moved_bytes = 0.0;
+        let now = self.clock.now().as_secs();
+        let mut finish = now;
+        // Pair shrinks to grows for transfer scheduling (greedy order).
+        let mut grow_iter = grows.iter();
+        for &(src, s, g) in &shrinks {
+            let layers = self.topo.instances[inst].stages[s as usize].primary.layers;
+            let bytes = self.kv.device(src).bytes_needed(g, tokens, layers) as f64;
+            self.kv.device_mut(src).shrink_groups(rid, s, g);
+            let dst = grow_iter
+                .next()
+                .map(|&(d, ..)| d)
+                .unwrap_or(src);
+            let link = self.cluster.link(src, dst);
+            let done = self
+                .migration
+                .schedule(src.0, dst.0, link, bytes, now);
+            finish = finish.max(done);
+            moved_bytes += bytes;
+        }
+
+        let r = self.requests.get_mut(&rid).expect("live");
+        r.placement = Some(new_placement);
+        r.phase = Phase::Migrating;
+        r.redispatches += 1;
+        self.migrations += 1;
+        self.migrated_bytes += moved_bytes;
+        self.events
+            .schedule(SimTime::from_secs(finish.max(now)), Event::MigrationDone { req: rid });
+        true
+    }
+
+    // ------------------------------------------------- hand-off / scatter
+
+    /// Splitwise-style hand-off: move the whole KV to `target`.
+    fn start_handoff(&mut self, rid: RequestId, target: usize) {
+        // Try immediately; park in the target's hand-off queue otherwise.
+        if !self.try_start_handoff_transfer(rid, target) {
+            let r = self.requests.get_mut(&rid).expect("live");
+            r.phase = Phase::Migrating; // blocked, holding source KV
+            self.instances[target].pending_handoff.enqueue(rid);
+        }
+    }
+
+    fn drain_pending_handoffs(&mut self, target: usize) {
+        loop {
+            let Some(&rid) = self.instances[target].pending_handoff.peek() else {
+                return;
+            };
+            if self.try_start_handoff_transfer(rid, target) {
+                self.instances[target].pending_handoff.dequeue();
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Attempts allocation on the target and schedules the bulk transfer.
+    fn try_start_handoff_transfer(&mut self, rid: RequestId, target: usize) -> bool {
+        let ctx_tokens = {
+            let r = &self.requests[&rid];
+            r.effective_input + (r.generated.saturating_sub(0))
+        };
+        let pairs = [(rid, ctx_tokens)];
+        let placement = self
+            .policy
+            .place_batch(target, &pairs, &ctx!(self))
+            .pop()
+            .flatten();
+        let Some(placement) = placement else {
+            return false;
+        };
+
+        // Source residency before realloc.
+        let old_placement = self.requests[&rid].placement.clone().expect("placed");
+        let src_anchor = old_placement.per_stage[0][0].0;
+        let mut src_bytes = 0.0f64;
+        for d in 0..self.kv.len() {
+            src_bytes += self.kv.device(DeviceId(d as u32)).request_bytes(rid) as f64;
+        }
+
+        // Allocate on target with the *current* context.
+        {
+            let r = self.requests.get_mut(&rid).expect("live");
+            r.instance = target;
+            r.effective_input = ctx_tokens;
+        }
+        if !self.try_alloc_prompt(rid, placement) {
+            // Roll back ownership.
+            let r = self.requests.get_mut(&rid).expect("live");
+            r.instance = old_instance_of(&old_placement, &self.topo).unwrap_or(r.instance);
+            r.placement = Some(old_placement);
+            return false;
+        }
+        // try_alloc_prompt overwrote the placement — free the old source
+        // entries now (they belong to other devices).
+        let new_placement = self.requests[&rid].placement.clone().expect("placed");
+        let new_devices = new_placement.devices();
+        for d in 0..self.kv.len() {
+            let dev = DeviceId(d as u32);
+            if !new_devices.contains(&dev) {
+                self.kv.device_mut(dev).free_request(rid);
+            }
+        }
+
+        let now = self.clock.now().as_secs();
+        let dst_anchor = new_devices[0];
+        let link = self.cluster.link(src_anchor, dst_anchor);
+        let done = self
+            .migration
+            .schedule(src_anchor.0, dst_anchor.0, link, src_bytes, now);
+        self.migrations += 1;
+        self.migrated_bytes += src_bytes;
+        let r = self.requests.get_mut(&rid).expect("live");
+        r.phase = Phase::Migrating;
+        self.events
+            .schedule(SimTime::from_secs(done), Event::MigrationDone { req: rid });
+        true
+    }
+
+    /// After prefill on a Both-role instance: scatter remote head groups'
+    /// KV to attention workers if the placement uses any, then decode.
+    fn start_decoding_after_scatter(&mut self, rid: RequestId, inst: usize, cohort: usize) {
+        let placement = self.requests[&rid].placement.clone().expect("placed");
+        let tokens = self.requests[&rid].effective_input;
+        let gqa = self.model.gqa_ratio();
+        let now = self.clock.now().as_secs();
+        let mut finish = now;
+        let mut scattered = 0.0f64;
+        for (s, stage_pl) in placement.per_stage.iter().enumerate() {
+            let stage = &self.topo.instances[inst].stages[s];
+            let anchor = stage.primary.devices[0];
+            let layers = stage.primary.layers;
+            for &(dev, heads) in stage_pl {
+                if stage.primary.devices.contains(&dev) {
+                    continue;
+                }
+                let groups = heads / gqa;
+                let bytes = self.kv.device(dev).bytes_needed(groups, tokens, layers) as f64;
+                let link = self.cluster.link(anchor, dev);
+                let done = self.migration.schedule(anchor.0, dev.0, link, bytes, now);
+                finish = finish.max(done);
+                scattered += bytes;
+            }
+        }
+        let r = self.requests.get_mut(&rid).expect("live");
+        r.cohort = cohort;
+        if scattered > 0.0 {
+            r.phase = Phase::Migrating;
+            self.migrations += 1;
+            self.migrated_bytes += scattered;
+            self.events
+                .schedule(SimTime::from_secs(finish), Event::MigrationDone { req: rid });
+        } else {
+            r.phase = Phase::Decoding;
+            self.ensure_cohort_member(inst, rid);
+        }
+    }
+
+    // --------------------------------------------------------- lifecycle
+
+    fn finish(&mut self, rid: RequestId) {
+        for d in 0..self.kv.len() {
+            self.kv.device_mut(DeviceId(d as u32)).free_request(rid);
+        }
+        let r = self.requests.get_mut(&rid).expect("live");
+        r.phase = Phase::Done;
+        r.in_flight = false;
+        let inst = r.instance;
+        let rec = CompletedRequest {
+            id: rid,
+            arrival: r.req.arrival,
+            first_token: *r.token_times.first().expect("finished with tokens"),
+            completion: *r.token_times.last().expect("finished with tokens"),
+            input_len: r.req.input_len,
+            output_len: r.req.output_len,
+            preemptions: r.preemptions,
+            redispatches: r.redispatches,
+        };
+        self.completed.push(rec);
+        self.remove_cohort_member(inst, rid);
+    }
+
+    fn ensure_cohort_member(&mut self, inst: usize, rid: RequestId) {
+        let cohort = self.requests[&rid].cohort.min(
+            self.instances[inst].cohorts.len().saturating_sub(1),
+        );
+        // If unassigned to a live cohort (hand-off), pick the emptiest.
+        let target = if self.instances[inst].cohorts[cohort].members.contains(&rid) {
+            return;
+        } else if self.requests[&rid].instance == inst
+            && self.instances[inst]
+                .cohorts
+                .iter()
+                .any(|c| c.members.contains(&rid))
+        {
+            return;
+        } else {
+            let (best, _) = self.instances[inst]
+                .cohorts
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, c)| (c.members.len(), *i))
+                .expect("instance has cohorts");
+            best
+        };
+        self.requests.get_mut(&rid).expect("live").cohort = target;
+        self.instances[inst].cohorts[target].members.push(rid);
+    }
+
+    fn remove_cohort_member(&mut self, inst: usize, rid: RequestId) {
+        for c in self.instances[inst].cohorts.iter_mut() {
+            c.members.retain(|&m| m != rid);
+        }
+    }
+
+    /// Test/diagnostic access to the KV state.
+    pub fn kv_state(&self) -> &KvState {
+        &self.kv
+    }
+
+    /// Diagnostic: per-instance (phase → count) summary of live requests.
+    pub fn phase_summary(&self) -> Vec<HashMap<&'static str, usize>> {
+        let mut out: Vec<HashMap<&'static str, usize>> =
+            vec![HashMap::new(); self.instances.len()];
+        for r in self.requests.values() {
+            let name = match r.phase {
+                Phase::Waiting => "waiting",
+                Phase::Prefilling => "prefilling",
+                Phase::Decoding => "decoding",
+                Phase::Migrating => "migrating",
+                Phase::Done => "done",
+            };
+            *out[r.instance].entry(name).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+/// Finds which instance a placement belongs to (best effort, for hand-off
+/// rollback).
+fn old_instance_of(placement: &HeadPlacement, topo: &Topology) -> Option<usize> {
+    let first_dev = placement.per_stage.first()?.first()?.0;
+    topo.instances.iter().position(|i| {
+        i.stages
+            .iter()
+            .any(|s| s.attention_devices().contains(&first_dev))
+    })
+}

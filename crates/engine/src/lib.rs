@@ -1,0 +1,40 @@
+//! Discrete-event LLM serving engine with continuous batching.
+//!
+//! This crate replaces the vLLM runtime the paper builds on. It simulates,
+//! at iteration granularity, a set of data-parallel serving instances, each
+//! a pipeline of tensor-parallel stages over the calibrated cluster model:
+//!
+//! * **continuous batching** — prefill-priority scheduling with a token
+//!   budget, per-cohort microbatches keeping every pipeline stage busy
+//!   (vLLM's "virtual engines"),
+//! * **paged KV admission** — byte-accurate per-device pools with block
+//!   rounding; decode steps allocate before running and trigger the
+//!   policy's preemption path on exhaustion,
+//! * **head placements** — every request carries a per-stage map of which
+//!   device computes which query heads (trivially stage-local for the
+//!   baselines; LP-dispatched for Hetis),
+//! * **metrics** — TTFT / TPOT / normalized latency, per-module latency
+//!   contributions (max-stage × stage-count, the paper's Fig. 13 metric),
+//!   and time-series traces of cache usage and head counts (Fig. 14).
+//!
+//! Systems plug in through the [`policy::Policy`] trait: the engine owns
+//! execution and accounting, policies own decisions (topology, routing,
+//! placement, re-dispatch, victim selection).
+
+pub mod config;
+pub mod engine;
+pub mod memory;
+pub mod metrics;
+pub mod policy;
+pub mod request;
+pub mod stage;
+pub mod topology;
+
+pub use config::EngineConfig;
+pub use engine::{run, Engine};
+pub use memory::{DeviceKv, KvState};
+pub use metrics::{ModuleSample, RunReport, TraceSample};
+pub use policy::{Handoff, Policy, PolicyCtx, RedispatchOp, VictimAction};
+pub use request::{Phase, RunningRequest};
+pub use stage::{decode_stage_breakdown, prefill_stage_breakdown, AttnLoad, StageBreakdown};
+pub use topology::{HeadPlacement, InstanceRole, InstanceTopo, StageTopo, Topology};

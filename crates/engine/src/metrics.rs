@@ -1,0 +1,277 @@
+//! Metric collection and reporting.
+//!
+//! All figures of the paper's evaluation reduce to quantities defined
+//! here: normalized end-to-end latency (s/token, Figs. 8–10), P95
+//! TTFT/TPOT (Fig. 12), per-module latency contributions (Fig. 13, the
+//! max-stage × stage-count metric), KV-pool totals (Fig. 11) and resource
+//! time series (Fig. 14).
+
+use hetis_cluster::DeviceId;
+use hetis_sim::{percentile, Summary};
+use hetis_workload::RequestId;
+
+/// Metrics of one completed request.
+#[derive(Debug, Clone)]
+pub struct CompletedRequest {
+    /// Request id.
+    pub id: RequestId,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Time the first output token appeared (prefill completion).
+    pub first_token: f64,
+    /// Completion time (last token).
+    pub completion: f64,
+    /// Prompt length.
+    pub input_len: u32,
+    /// Output length.
+    pub output_len: u32,
+    /// Recompute preemptions suffered.
+    pub preemptions: u32,
+    /// Re-dispatches applied.
+    pub redispatches: u32,
+}
+
+impl CompletedRequest {
+    /// Time to first token: queueing + prefill.
+    pub fn ttft(&self) -> f64 {
+        self.first_token - self.arrival
+    }
+
+    /// Mean time per output token after the first.
+    pub fn tpot(&self) -> f64 {
+        if self.output_len <= 1 {
+            0.0
+        } else {
+            (self.completion - self.first_token) / (self.output_len - 1) as f64
+        }
+    }
+
+    /// End-to-end latency normalized by output length (the Figs. 8–10
+    /// y-axis, s/token).
+    pub fn normalized_latency(&self) -> f64 {
+        (self.completion - self.arrival) / self.output_len as f64
+    }
+}
+
+/// One decode iteration's per-module latency contribution:
+/// max stage time × number of stages (the Fig. 13 definition, which
+/// charges pipeline bubbles to the slowest stage).
+#[derive(Debug, Clone, Copy)]
+pub struct ModuleSample {
+    /// Simulated time of the iteration.
+    pub time: f64,
+    /// MLP contribution (s).
+    pub mlp: f64,
+    /// Attention contribution (s).
+    pub attn: f64,
+}
+
+/// A point of the per-device resource time series (Fig. 14).
+#[derive(Debug, Clone)]
+pub struct TraceSample {
+    /// Sample time.
+    pub time: f64,
+    /// Per device: (device, cache-pool utilization in `[0,1]`, resident
+    /// query heads per layer).
+    pub devices: Vec<(DeviceId, f64, u64)>,
+}
+
+/// Full output of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Policy name ("hetis", "hexgen", "splitwise", …).
+    pub policy: String,
+    /// Per-request metrics for completed requests.
+    pub completed: Vec<CompletedRequest>,
+    /// Requests still unfinished at simulation end.
+    pub unfinished: usize,
+    /// Per-decode-iteration module samples.
+    pub module_samples: Vec<ModuleSample>,
+    /// Resource time series.
+    pub trace: Vec<TraceSample>,
+    /// Simulated makespan (time of the last event).
+    pub duration: f64,
+    /// Total raw KV pool across all devices used by the topology.
+    pub total_kv_pool_bytes: u64,
+    /// *Usable* KV capacity (bottleneck-stage-limited; prefill-only pools
+    /// excluded) — Fig. 11's "cache space". See
+    /// [`crate::memory::usable_kv_bytes`].
+    pub usable_kv_bytes: u64,
+    /// Recompute preemptions executed.
+    pub preemptions: u64,
+    /// Cache migrations executed (scatter / handoff / re-dispatch).
+    pub migrations: u64,
+    /// Bytes moved by migrations.
+    pub migrated_bytes: f64,
+}
+
+impl RunReport {
+    /// Normalized latencies of all completed requests.
+    pub fn normalized_latencies(&self) -> Vec<f64> {
+        self.completed.iter().map(|c| c.normalized_latency()).collect()
+    }
+
+    /// Mean normalized latency (s/token); +inf when nothing completed —
+    /// plot-friendly for saturated points.
+    pub fn mean_normalized_latency(&self) -> f64 {
+        let v = self.normalized_latencies();
+        if v.is_empty() {
+            f64::INFINITY
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    }
+
+    /// TTFT values.
+    pub fn ttfts(&self) -> Vec<f64> {
+        self.completed.iter().map(|c| c.ttft()).collect()
+    }
+
+    /// TPOT values (requests with ≥ 2 output tokens).
+    pub fn tpots(&self) -> Vec<f64> {
+        self.completed
+            .iter()
+            .filter(|c| c.output_len > 1)
+            .map(|c| c.tpot())
+            .collect()
+    }
+
+    /// P95 TTFT.
+    pub fn p95_ttft(&self) -> f64 {
+        percentile(&self.ttfts(), 95.0).unwrap_or(f64::INFINITY)
+    }
+
+    /// P95 TPOT.
+    pub fn p95_tpot(&self) -> f64 {
+        percentile(&self.tpots(), 95.0).unwrap_or(f64::INFINITY)
+    }
+
+    /// P95 of the per-iteration MLP latency contribution.
+    pub fn p95_mlp(&self) -> f64 {
+        let v: Vec<f64> = self.module_samples.iter().map(|s| s.mlp).collect();
+        percentile(&v, 95.0).unwrap_or(0.0)
+    }
+
+    /// P95 of the per-iteration Attention latency contribution.
+    pub fn p95_attn(&self) -> f64 {
+        let v: Vec<f64> = self.module_samples.iter().map(|s| s.attn).collect();
+        percentile(&v, 95.0).unwrap_or(0.0)
+    }
+
+    /// Completed requests per second of simulated time.
+    pub fn throughput(&self) -> f64 {
+        if self.duration <= 0.0 {
+            0.0
+        } else {
+            self.completed.len() as f64 / self.duration
+        }
+    }
+
+    /// Output-token throughput (tokens/s).
+    pub fn token_throughput(&self) -> f64 {
+        if self.duration <= 0.0 {
+            return 0.0;
+        }
+        let tokens: u64 = self.completed.iter().map(|c| c.output_len as u64).sum();
+        tokens as f64 / self.duration
+    }
+
+    /// Summary of normalized latency.
+    pub fn latency_summary(&self) -> Summary {
+        Summary::of(&self.normalized_latencies())
+    }
+
+    /// Fraction of issued requests that completed.
+    pub fn completion_rate(&self) -> f64 {
+        let total = self.completed.len() + self.unfinished;
+        if total == 0 {
+            1.0
+        } else {
+            self.completed.len() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(arrival: f64, first: f64, done: f64, out: u32) -> CompletedRequest {
+        CompletedRequest {
+            id: RequestId(0),
+            arrival,
+            first_token: first,
+            completion: done,
+            input_len: 100,
+            output_len: out,
+            preemptions: 0,
+            redispatches: 0,
+        }
+    }
+
+    #[test]
+    fn per_request_metrics() {
+        let c = req(0.0, 2.0, 11.0, 10);
+        assert_eq!(c.ttft(), 2.0);
+        assert_eq!(c.tpot(), 1.0);
+        assert_eq!(c.normalized_latency(), 1.1);
+        // Single-token output: TPOT degenerates to 0.
+        assert_eq!(req(0.0, 1.0, 1.0, 1).tpot(), 0.0);
+    }
+
+    fn empty_report() -> RunReport {
+        RunReport {
+            policy: "test".into(),
+            completed: vec![],
+            unfinished: 0,
+            module_samples: vec![],
+            trace: vec![],
+            duration: 10.0,
+            total_kv_pool_bytes: 0,
+            usable_kv_bytes: 0,
+            preemptions: 0,
+            migrations: 0,
+            migrated_bytes: 0.0,
+        }
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = empty_report();
+        assert!(r.mean_normalized_latency().is_infinite());
+        assert!(r.p95_ttft().is_infinite());
+        assert_eq!(r.p95_mlp(), 0.0);
+        assert_eq!(r.throughput(), 0.0);
+        assert_eq!(r.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut r = empty_report();
+        r.completed = vec![
+            req(0.0, 1.0, 5.0, 4),
+            req(1.0, 2.0, 8.0, 7),
+            req(2.0, 4.0, 6.0, 2),
+        ];
+        r.unfinished = 1;
+        assert_eq!(r.ttfts(), vec![1.0, 1.0, 2.0]);
+        assert!((r.throughput() - 0.3).abs() < 1e-12);
+        assert_eq!(r.token_throughput(), 1.3);
+        assert!((r.completion_rate() - 0.75).abs() < 1e-12);
+        assert!(r.mean_normalized_latency() > 0.0);
+        r.module_samples = vec![
+            ModuleSample {
+                time: 0.0,
+                mlp: 0.010,
+                attn: 0.002,
+            },
+            ModuleSample {
+                time: 1.0,
+                mlp: 0.020,
+                attn: 0.004,
+            },
+        ];
+        assert!(r.p95_mlp() > 0.019 && r.p95_mlp() <= 0.020);
+        assert!(r.p95_attn() > 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Runtime request state inside the engine.
+
+use crate::topology::HeadPlacement;
+use hetis_workload::Request;
+
+/// Lifecycle phase of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// In an instance's waiting queue (not yet prefilled, or preempted).
+    Waiting,
+    /// In a prefill microbatch in flight.
+    Prefilling,
+    /// Decoding: has KV resident, produces one token per iteration.
+    Decoding,
+    /// Temporarily blocked on a KV migration (post-prefill scatter,
+    /// Splitwise handoff, or a re-dispatch move).
+    Migrating,
+    /// Finished.
+    Done,
+}
+
+/// A request being served.
+#[derive(Debug, Clone)]
+pub struct RunningRequest {
+    /// The immutable workload request.
+    pub req: Request,
+    /// Current phase.
+    pub phase: Phase,
+    /// Instance currently responsible.
+    pub instance: usize,
+    /// Cohort (virtual engine) within the instance, assigned at admission.
+    pub cohort: usize,
+    /// Tokens generated so far (the prefill iteration produces the first).
+    pub generated: u32,
+    /// Prompt tokens *for the current prefill* — grows on recompute
+    /// preemption (prompt + already-generated are re-prefilled together).
+    pub effective_input: u32,
+    /// Absolute times of produced tokens.
+    pub token_times: Vec<f64>,
+    /// Time the request was admitted to a prefill batch (for queueing
+    /// analysis).
+    pub admitted_at: Option<f64>,
+    /// Per-stage head placement (None until placed).
+    pub placement: Option<HeadPlacement>,
+    /// True while the request sits inside an in-flight microbatch.
+    pub in_flight: bool,
+    /// Number of preemptions suffered (stats).
+    pub preemptions: u32,
+    /// Number of re-dispatches applied (stats).
+    pub redispatches: u32,
+}
+
+impl RunningRequest {
+    /// Wraps an arriving request.
+    pub fn new(req: Request, instance: usize) -> Self {
+        RunningRequest {
+            effective_input: req.input_len,
+            req,
+            phase: Phase::Waiting,
+            instance,
+            cohort: 0,
+            generated: 0,
+            token_times: Vec::new(),
+            admitted_at: None,
+            placement: None,
+            in_flight: false,
+            preemptions: 0,
+            redispatches: 0,
+        }
+    }
+
+    /// Current context length (prompt + generated tokens).
+    #[inline]
+    pub fn context_len(&self) -> u32 {
+        self.req.input_len + self.generated
+    }
+
+    /// Tokens still to generate.
+    #[inline]
+    pub fn remaining(&self) -> u32 {
+        self.req.output_len - self.generated
+    }
+
+    /// True once all output tokens exist.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.generated >= self.req.output_len
+    }
+
+    /// Records a produced token at `now`.
+    pub fn push_token(&mut self, now: f64) {
+        self.generated += 1;
+        self.token_times.push(now);
+    }
+
+    /// Applies recompute preemption: KV dropped, generated tokens become
+    /// part of the next prefill.
+    pub fn preempt_recompute(&mut self) {
+        self.effective_input = self.req.input_len + self.generated;
+        self.phase = Phase::Waiting;
+        self.placement = None;
+        self.in_flight = false;
+        self.preemptions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetis_workload::RequestId;
+
+    fn req() -> Request {
+        Request {
+            id: RequestId(1),
+            arrival: 0.0,
+            input_len: 100,
+            output_len: 10,
+        }
+    }
+
+    #[test]
+    fn lifecycle_arithmetic() {
+        let mut r = RunningRequest::new(req(), 0);
+        assert_eq!(r.context_len(), 100);
+        assert_eq!(r.remaining(), 10);
+        r.push_token(1.0);
+        r.push_token(1.5);
+        assert_eq!(r.generated, 2);
+        assert_eq!(r.context_len(), 102);
+        assert!(!r.is_complete());
+        for i in 0..8 {
+            r.push_token(2.0 + i as f64);
+        }
+        assert!(r.is_complete());
+        assert_eq!(r.token_times.len(), 10);
+    }
+
+    #[test]
+    fn recompute_preemption_folds_generated_into_prompt() {
+        let mut r = RunningRequest::new(req(), 0);
+        r.phase = Phase::Decoding;
+        r.push_token(1.0);
+        r.push_token(2.0);
+        r.preempt_recompute();
+        assert_eq!(r.phase, Phase::Waiting);
+        assert_eq!(r.effective_input, 102);
+        assert_eq!(r.generated, 2); // emitted tokens stay emitted
+        assert_eq!(r.preemptions, 1);
+        assert!(r.placement.is_none());
+    }
+}

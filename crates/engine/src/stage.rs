@@ -1,0 +1,387 @@
+//! Stage-time decomposition: per-module components of one iteration on one
+//! pipeline stage, including Hetis's distributed-attention phase.
+//!
+//! The per-module split matters beyond fidelity: Fig. 13 reports P95 MLP
+//! and Attention latency contributions separately, defined as *max stage
+//! time × number of stages*; this module provides the components the
+//! metrics layer aggregates.
+
+use crate::topology::StageTopo;
+use hetis_cluster::{
+    all_reduce_time, attn_decode_time, attn_prefill_time, dense_decode_time, dense_prefill_time,
+    AttnWork, Cluster, DenseWork, DeviceId,
+};
+use hetis_model::{DenseOp, ModelSpec, ModuleCosts};
+use hetis_parallel::PrefillBatch;
+
+/// Per-layer attention work placed on one device during a decode
+/// iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct AttnLoad {
+    /// The device computing these heads.
+    pub device: DeviceId,
+    /// Per-layer work (query heads and KV bytes of this microbatch).
+    pub work: AttnWork,
+    /// True when the device is an attention worker reached over the
+    /// network (adds the Eq. 4 transfer term).
+    pub remote: bool,
+}
+
+/// One stage-iteration's time, decomposed by module.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageBreakdown {
+    /// QKV + output projection time (whole stage).
+    pub proj: f64,
+    /// MLP time (whole stage).
+    pub mlp: f64,
+    /// Attention phase (max across participating devices, incl. transfer).
+    pub attn: f64,
+    /// Communication: TP all-reduces + LM head stream + inter-stage P2P is
+    /// accounted by the engine separately.
+    pub comm: f64,
+    /// Sum of the above.
+    pub total: f64,
+}
+
+impl StageBreakdown {
+    /// Zero time.
+    pub const ZERO: StageBreakdown = StageBreakdown {
+        proj: 0.0,
+        mlp: 0.0,
+        attn: 0.0,
+        comm: 0.0,
+        total: 0.0,
+    };
+}
+
+/// Decode-iteration breakdown for one stage.
+///
+/// * `dense_tokens` — sequences in the microbatch (one token each).
+/// * `attn_loads` — per-device attention work for this microbatch,
+///   already split per the requests' head placements. The attention phase
+///   is their max: primaries and workers compute in parallel and the stage
+///   blocks on the slowest (Eq. 7a's max).
+pub fn decode_stage_breakdown(
+    cluster: &Cluster,
+    model: &ModelSpec,
+    stage: &StageTopo,
+    dense_tokens: u64,
+    attn_loads: &[AttnLoad],
+    lm_head: bool,
+) -> StageBreakdown {
+    if dense_tokens == 0 {
+        return StageBreakdown::ZERO;
+    }
+    let costs = ModuleCosts::new(model);
+    let tp = stage.primary.tp() as f64;
+
+    // Dense modules on the TP group (max across devices — heterogeneous
+    // groups are legal even if the searches rarely pick them).
+    let mut proj = 0.0_f64;
+    let mut mlp = 0.0_f64;
+    for &d in &stage.primary.devices {
+        let spec = cluster.spec(d);
+        let proj_work = DenseWork {
+            flops: (costs.dense_flops(DenseOp::Qkv, dense_tokens)
+                + costs.dense_flops(DenseOp::OutProj, dense_tokens))
+                / tp,
+            weight_bytes: (costs.dense_weight_bytes(DenseOp::Qkv)
+                + costs.dense_weight_bytes(DenseOp::OutProj)) as f64
+                / tp,
+        };
+        let mlp_work = DenseWork {
+            flops: costs.dense_flops(DenseOp::Mlp, dense_tokens) / tp,
+            weight_bytes: costs.dense_weight_bytes(DenseOp::Mlp) as f64 / tp,
+        };
+        proj = proj.max(dense_decode_time(spec, proj_work, 2));
+        mlp = mlp.max(dense_decode_time(spec, mlp_work, 1));
+    }
+
+    // Attention phase: parallel across devices; max governs.
+    let anchor = stage.primary.devices[0];
+    let mut attn = 0.0_f64;
+    for load in attn_loads {
+        if load.work.is_zero() {
+            continue;
+        }
+        let spec = cluster.spec(load.device);
+        let mut t = attn_decode_time(spec, load.work);
+        if load.remote {
+            let link = cluster.link(anchor, load.device);
+            let bytes = costs.attn_transfer_bytes(load.work.query_heads as u64);
+            t += link.alpha + link.beta * bytes;
+        }
+        attn = attn.max(t);
+    }
+
+    // TP all-reduces (one after attention projection, one after MLP).
+    let comm_layer = if stage.primary.tp() > 1 {
+        2.0 * all_reduce_time(
+            cluster.worst_link(&stage.primary.devices),
+            stage.primary.tp(),
+            costs.activation_bytes(dense_tokens) as f64,
+        )
+    } else {
+        0.0
+    };
+
+    let layers = stage.primary.layers as f64;
+    let lm = if lm_head {
+        lm_head_time(cluster, model, stage, tp)
+    } else {
+        0.0
+    };
+    let proj_total = proj * layers;
+    let mlp_total = mlp * layers;
+    let attn_total = attn * layers;
+    let comm_total = comm_layer * layers + lm;
+    StageBreakdown {
+        proj: proj_total,
+        mlp: mlp_total,
+        attn: attn_total,
+        comm: comm_total,
+        total: proj_total + mlp_total + attn_total + comm_total,
+    }
+}
+
+/// Prefill-iteration breakdown for one stage. Prefill attention runs on
+/// the primary TP group (Hetis keeps compute-intensive prefill attention
+/// with the dense modules — design idea I1).
+pub fn prefill_stage_breakdown(
+    cluster: &Cluster,
+    model: &ModelSpec,
+    stage: &StageTopo,
+    batch: &PrefillBatch,
+    lm_head: bool,
+) -> StageBreakdown {
+    if batch.tokens == 0 {
+        return StageBreakdown::ZERO;
+    }
+    let costs = ModuleCosts::new(model);
+    let tp = stage.primary.tp() as f64;
+
+    let mut proj = 0.0_f64;
+    let mut mlp = 0.0_f64;
+    let mut attn = 0.0_f64;
+    let attn_flops_total = 2.0 * model.num_heads as f64 * model.head_dim as f64 * batch.sq_sum;
+    for &d in &stage.primary.devices {
+        let spec = cluster.spec(d);
+        let proj_work = DenseWork {
+            flops: (costs.dense_flops(DenseOp::Qkv, batch.tokens)
+                + costs.dense_flops(DenseOp::OutProj, batch.tokens))
+                / tp,
+            weight_bytes: (costs.dense_weight_bytes(DenseOp::Qkv)
+                + costs.dense_weight_bytes(DenseOp::OutProj)) as f64
+                / tp,
+        };
+        let mlp_work = DenseWork {
+            flops: costs.dense_flops(DenseOp::Mlp, batch.tokens) / tp,
+            weight_bytes: costs.dense_weight_bytes(DenseOp::Mlp) as f64 / tp,
+        };
+        proj = proj.max(dense_prefill_time(spec, proj_work, 2));
+        mlp = mlp.max(dense_prefill_time(spec, mlp_work, 1));
+        attn = attn.max(attn_prefill_time(spec, attn_flops_total / tp));
+    }
+
+    let comm_layer = if stage.primary.tp() > 1 {
+        2.0 * all_reduce_time(
+            cluster.worst_link(&stage.primary.devices),
+            stage.primary.tp(),
+            costs.activation_bytes(batch.tokens) as f64,
+        )
+    } else {
+        0.0
+    };
+
+    let layers = stage.primary.layers as f64;
+    let lm = if lm_head {
+        lm_head_time(cluster, model, stage, tp)
+    } else {
+        0.0
+    };
+    let proj_total = proj * layers;
+    let mlp_total = mlp * layers;
+    let attn_total = attn * layers;
+    let comm_total = comm_layer * layers + lm;
+    StageBreakdown {
+        proj: proj_total,
+        mlp: mlp_total,
+        attn: attn_total,
+        comm: comm_total,
+        total: proj_total + mlp_total + attn_total + comm_total,
+    }
+}
+
+fn lm_head_time(cluster: &Cluster, model: &ModelSpec, stage: &StageTopo, tp: f64) -> f64 {
+    let lm_bytes = (model.vocab_size * model.hidden_size * model.dtype.bytes()) as f64 / tp;
+    let worst_bw = stage
+        .primary
+        .devices
+        .iter()
+        .map(|&d| cluster.spec(d).decode_stream_bw)
+        .fold(f64::INFINITY, f64::min);
+    lm_bytes / worst_bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetis_cluster::cluster::paper_cluster;
+    use hetis_cluster::GpuType;
+    use hetis_model::llama_70b;
+    use hetis_parallel::StageConfig;
+
+    fn a100_stage(c: &Cluster, layers: u32) -> StageTopo {
+        StageTopo::plain(StageConfig {
+            devices: c.devices_of_type(GpuType::A100),
+            layers,
+        })
+    }
+
+    fn local_loads(_c: &Cluster, stage: &StageTopo, m: &ModelSpec, seqs: u64, ctx: u64) -> Vec<AttnLoad> {
+        let costs = ModuleCosts::new(m);
+        let tp = stage.primary.tp() as f64;
+        stage
+            .primary
+            .devices
+            .iter()
+            .map(|&d| AttnLoad {
+                device: d,
+                work: AttnWork {
+                    query_heads: seqs as f64 * m.num_heads as f64 / tp,
+                    kv_bytes: seqs as f64 * costs.attn_decode_kv_bytes(m.num_heads as u64, ctx)
+                        / tp,
+                },
+                remote: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let c = paper_cluster();
+        let m = llama_70b();
+        let s = a100_stage(&c, 80);
+        let loads = local_loads(&c, &s, &m, 32, 1000);
+        let b = decode_stage_breakdown(&c, &m, &s, 32, &loads, true);
+        assert!((b.total - (b.proj + b.mlp + b.attn + b.comm)).abs() < 1e-12);
+        assert!(b.mlp > b.proj, "MLP dominates dense time");
+        assert!(b.attn > 0.0 && b.comm > 0.0);
+    }
+
+    #[test]
+    fn remote_attention_adds_transfer() {
+        let c = paper_cluster();
+        let m = llama_70b();
+        let mut s = a100_stage(&c, 80);
+        let p100 = c.devices_of_type(GpuType::P100)[0];
+        s.attention_workers.push(p100);
+        let work = AttnWork {
+            query_heads: 512.0,
+            kv_bytes: 5e8,
+        };
+        let local = decode_stage_breakdown(
+            &c,
+            &m,
+            &s,
+            32,
+            &[AttnLoad {
+                device: s.primary.devices[0],
+                work,
+                remote: false,
+            }],
+            false,
+        );
+        let remote = decode_stage_breakdown(
+            &c,
+            &m,
+            &s,
+            32,
+            &[AttnLoad {
+                device: p100,
+                work,
+                remote: true,
+            }],
+            false,
+        );
+        assert!(remote.attn > local.attn, "{} vs {}", remote.attn, local.attn);
+    }
+
+    #[test]
+    fn attention_phase_is_max_not_sum() {
+        let c = paper_cluster();
+        let m = llama_70b();
+        let s = a100_stage(&c, 80);
+        let w = AttnWork {
+            query_heads: 1000.0,
+            kv_bytes: 1e9,
+        };
+        let one = decode_stage_breakdown(
+            &c,
+            &m,
+            &s,
+            32,
+            &[AttnLoad {
+                device: s.primary.devices[0],
+                work: w,
+                remote: false,
+            }],
+            false,
+        );
+        let two_balanced = decode_stage_breakdown(
+            &c,
+            &m,
+            &s,
+            32,
+            &[
+                AttnLoad {
+                    device: s.primary.devices[0],
+                    work: AttnWork {
+                        query_heads: 500.0,
+                        kv_bytes: 5e8,
+                    },
+                    remote: false,
+                },
+                AttnLoad {
+                    device: s.primary.devices[1],
+                    work: AttnWork {
+                        query_heads: 500.0,
+                        kv_bytes: 5e8,
+                    },
+                    remote: false,
+                },
+            ],
+            false,
+        );
+        assert!(
+            two_balanced.attn < one.attn,
+            "balancing halves the phase: {} vs {}",
+            two_balanced.attn,
+            one.attn
+        );
+    }
+
+    #[test]
+    fn prefill_attention_quadratic_in_length() {
+        let c = paper_cluster();
+        let m = llama_70b();
+        let s = a100_stage(&c, 80);
+        // Long prompts so per-kernel launch overhead is negligible.
+        let b1 = prefill_stage_breakdown(&c, &m, &s, &PrefillBatch::uniform(1, 4096), false);
+        let b2 = prefill_stage_breakdown(&c, &m, &s, &PrefillBatch::uniform(1, 8192), false);
+        // Dense doubles, attention quadruples.
+        assert!(b2.mlp / b1.mlp > 1.8 && b2.mlp / b1.mlp < 2.3);
+        assert!(b2.attn / b1.attn > 3.5 && b2.attn / b1.attn < 4.5);
+    }
+
+    #[test]
+    fn zero_batch_is_free() {
+        let c = paper_cluster();
+        let m = llama_70b();
+        let s = a100_stage(&c, 80);
+        assert_eq!(
+            decode_stage_breakdown(&c, &m, &s, 0, &[], true),
+            StageBreakdown::ZERO
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Paged and head-granular KV cache management.
+//!
+//! Two allocators over fixed-size token blocks:
+//!
+//! * [`paged::PagedAllocator`] — vLLM-style: one block table per sequence,
+//!   a block spans *all* KV heads of the layers it covers.
+//! * [`headwise::HeadwiseAllocator`] — Hetis-style (§6 "KV cache
+//!   management"): block tables are keyed by *(sequence, KV-head group)*,
+//!   so different head groups of the same request can live on different
+//!   devices, be migrated independently, and be freed partially.
+//!
+//! [`index`] implements the block-index assembly that the paper
+//! accelerates with "multi-core parallelization on the CPU": building the
+//! flat (sequence, position, head-group) → physical-slot arrays consumed
+//! by the paged-attention kernel each decode step. Both a serial and a
+//! rayon-parallel version exist; Fig. 15b is reproduced by timing them.
+//!
+//! [`migration`] plans partial cache moves between placements, reusing the
+//! overlap between old and new head distributions (§5.3's "opportunistic
+//! cache reuse").
+
+pub mod block;
+pub mod headwise;
+pub mod index;
+pub mod migration;
+pub mod paged;
+
+pub use block::{BlockConfig, BlockId, SeqId};
+pub use headwise::{GroupId, HeadwiseAllocator};
+pub use index::{build_fetch_index_parallel, build_fetch_index_serial, FetchIndex};
+pub use migration::{plan_migration, MoveOp, Placement};
+pub use paged::{AllocError, PagedAllocator};

@@ -1,0 +1,187 @@
+//! Migration planning with overlap reuse (§5.3).
+//!
+//! When the Dispatcher re-dispatches a request, the new head placement
+//! usually overlaps the old one; Hetis transfers only the groups that
+//! actually moved ("partial cache transmission"). This module computes
+//! the minimal move set between two placements.
+
+use crate::headwise::GroupId;
+use std::collections::HashMap;
+
+/// Where each head group of one request lives: `group → device index`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Placement {
+    map: HashMap<GroupId, u32>,
+}
+
+impl Placement {
+    /// Empty placement.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from `(group, device)` pairs.
+    pub fn from_pairs(pairs: &[(GroupId, u32)]) -> Self {
+        Placement {
+            map: pairs.iter().copied().collect(),
+        }
+    }
+
+    /// Builds a placement that assigns `counts[d]` consecutive groups to
+    /// each device `d`, starting from group 0 — the canonical layout the
+    /// Dispatcher produces from per-device group counts.
+    pub fn from_counts(counts: &[u32]) -> Self {
+        let mut map = HashMap::new();
+        let mut g = 0u16;
+        for (dev, &n) in counts.iter().enumerate() {
+            for _ in 0..n {
+                map.insert(GroupId(g), dev as u32);
+                g += 1;
+            }
+        }
+        Placement { map }
+    }
+
+    /// Assigns one group.
+    pub fn assign(&mut self, group: GroupId, device: u32) {
+        self.map.insert(group, device);
+    }
+
+    /// Device of a group.
+    pub fn device_of(&self, group: GroupId) -> Option<u32> {
+        self.map.get(&group).copied()
+    }
+
+    /// Number of placed groups.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is placed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Groups on a given device, sorted (deterministic).
+    pub fn groups_on(&self, device: u32) -> Vec<GroupId> {
+        let mut v: Vec<GroupId> = self
+            .map
+            .iter()
+            .filter(|&(_, &d)| d == device)
+            .map(|(&g, _)| g)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Per-device group counts as a map.
+    pub fn counts(&self) -> HashMap<u32, u32> {
+        let mut out = HashMap::new();
+        for &d in self.map.values() {
+            *out.entry(d).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Iterates `(group, device)`.
+    pub fn iter(&self) -> impl Iterator<Item = (GroupId, u32)> + '_ {
+        self.map.iter().map(|(&g, &d)| (g, d))
+    }
+}
+
+/// One group's cache moving between devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveOp {
+    /// Which head group moves.
+    pub group: GroupId,
+    /// Source device.
+    pub src: u32,
+    /// Destination device.
+    pub dst: u32,
+}
+
+/// Computes the moves turning `old` into `new`. Groups placed identically
+/// in both are reused in place (the paper's overlap reuse); groups present
+/// only in `new` need no migration (they will be written fresh); groups
+/// present only in `old` are frees, returned separately.
+///
+/// Returns `(moves, frees)` with `frees` as `(group, device)` pairs. Both
+/// outputs are sorted by group for determinism.
+pub fn plan_migration(old: &Placement, new: &Placement) -> (Vec<MoveOp>, Vec<(GroupId, u32)>) {
+    let mut moves = Vec::new();
+    let mut frees = Vec::new();
+    for (g, src) in old.iter() {
+        match new.device_of(g) {
+            Some(dst) if dst != src => moves.push(MoveOp { group: g, src, dst }),
+            Some(_) => {} // overlap: stays put
+            None => frees.push((g, src)),
+        }
+    }
+    moves.sort_by_key(|m| m.group);
+    frees.sort_by_key(|&(g, _)| g);
+    (moves, frees)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(i: u16) -> GroupId {
+        GroupId(i)
+    }
+
+    #[test]
+    fn identical_placements_need_nothing() {
+        let p = Placement::from_counts(&[4, 4]);
+        let (moves, frees) = plan_migration(&p, &p);
+        assert!(moves.is_empty());
+        assert!(frees.is_empty());
+    }
+
+    #[test]
+    fn overlap_is_reused() {
+        // 8 groups: old = [6 on dev0, 2 on dev1]; new = [4, 4].
+        let old = Placement::from_counts(&[6, 2]);
+        let new = Placement::from_counts(&[4, 4]);
+        let (moves, frees) = plan_migration(&old, &new);
+        // Groups 0..4 stay on dev0; 4,5 move 0→1; 6,7 stay on dev1.
+        assert_eq!(frees.len(), 0);
+        assert_eq!(moves.len(), 2);
+        assert!(moves.iter().all(|m| m.src == 0 && m.dst == 1));
+        assert_eq!(moves[0].group, g(4));
+        assert_eq!(moves[1].group, g(5));
+    }
+
+    #[test]
+    fn dropped_groups_become_frees() {
+        let old = Placement::from_counts(&[8]);
+        let mut new = Placement::new();
+        for i in 0..4 {
+            new.assign(g(i), 0);
+        }
+        let (moves, frees) = plan_migration(&old, &new);
+        assert!(moves.is_empty());
+        assert_eq!(frees.len(), 4);
+        assert!(frees.iter().all(|&(_, d)| d == 0));
+    }
+
+    #[test]
+    fn counts_roundtrip() {
+        let p = Placement::from_counts(&[3, 0, 5]);
+        let c = p.counts();
+        assert_eq!(c.get(&0), Some(&3));
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&2), Some(&5));
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.groups_on(2).len(), 5);
+    }
+
+    #[test]
+    fn moves_deterministic_order() {
+        let old = Placement::from_pairs(&[(g(3), 0), (g(1), 0), (g(2), 0)]);
+        let new = Placement::from_pairs(&[(g(3), 1), (g(1), 1), (g(2), 1)]);
+        let (moves, _) = plan_migration(&old, &new);
+        let order: Vec<u16> = moves.iter().map(|m| m.group.0).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,23 @@
+//! Dense two-phase simplex LP solver with a min–max front-end.
+//!
+//! The Hetis Dispatcher solves, on every batch of newly arrived requests,
+//! the head-wise dispatching problem of Eq. (7): minimize the *maximum*
+//! per-device attention time subject to per-device cache capacity and a
+//! per-request head-count equality. The paper hands this to cvxpy/MOSEK; we
+//! implement the textbook equivalent:
+//!
+//! * [`simplex`] — a dense two-phase primal simplex with Bland's rule
+//!   (these LPs have a handful of variables per request × device, so dense
+//!   is the right choice),
+//! * [`minmax`] — the epigraph transformation `min t s.t. fᵢ(x) ≤ t`,
+//! * [`rounding`] — largest-remainder rounding of fractional head counts
+//!   to multiples of the GQA group ratio `r`, respecting capacities
+//!   (Eq. 5's integrality requirement `xᵢʲ/r ∈ ℕ`).
+
+pub mod minmax;
+pub mod rounding;
+pub mod simplex;
+
+pub use minmax::{AffineExpr, MinMaxBuilder, MinMaxSolution};
+pub use rounding::round_to_groups;
+pub use simplex::{Constraint, ConstraintOp, LinearProgram, LpError, LpSolution};

@@ -1,0 +1,147 @@
+//! Integral rounding of fractional head allocations.
+//!
+//! The LP relaxation hands back fractional per-device query-head counts;
+//! Eq. (5) demands `xᵢʲ/r ∈ ℕ` — whole KV-head groups. Largest-remainder
+//! rounding preserves the total exactly and respects per-device caps.
+
+/// Rounds a fractional allocation `x` (query heads per device, one request)
+/// to multiples of `r` that sum to exactly `total` query heads, without
+/// exceeding `cap[i]` additional query heads on device `i`.
+///
+/// Returns `None` when the caps cannot accommodate the total at all.
+///
+/// Algorithm: convert to group units (`x/r`), floor, then hand out the
+/// remaining groups by largest fractional remainder among devices with cap
+/// headroom; if remainders tie, lower index wins (deterministic).
+pub fn round_to_groups(x: &[f64], r: u32, total: u32, cap: &[u32]) -> Option<Vec<u32>> {
+    assert_eq!(x.len(), cap.len());
+    assert!(r > 0);
+    assert!(
+        total % r == 0,
+        "total heads {total} not a multiple of group ratio {r}"
+    );
+    let groups_needed = total / r;
+    let n = x.len();
+
+    // Cap in group units (floor: a partial group is unusable).
+    let cap_groups: Vec<u32> = cap.iter().map(|&c| c / r).collect();
+    if cap_groups.iter().map(|&c| c as u64).sum::<u64>() < groups_needed as u64 {
+        return None;
+    }
+
+    let mut alloc: Vec<u32> = Vec::with_capacity(n);
+    let mut frac: Vec<(usize, f64)> = Vec::with_capacity(n);
+    let mut assigned = 0u32;
+    for i in 0..n {
+        let g = (x[i].max(0.0) / r as f64).min(cap_groups[i] as f64);
+        let fl = g.floor() as u32;
+        let fl = fl.min(cap_groups[i]);
+        alloc.push(fl);
+        assigned += fl;
+        frac.push((i, g - fl as f64));
+    }
+
+    // Too many groups floored (possible when caps clipped upward elsewhere):
+    // trim from the smallest fractional parts.
+    while assigned > groups_needed {
+        let victim = frac
+            .iter()
+            .filter(|&&(i, _)| alloc[i] > 0)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+            .map(|&(i, _)| i)?;
+        alloc[victim] -= 1;
+        assigned -= 1;
+    }
+
+    // Distribute the remainder by largest fractional part (stable order).
+    frac.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let mut k = 0;
+    while assigned < groups_needed {
+        let mut placed = false;
+        for &(i, _) in frac.iter().cycle().skip(k).take(n) {
+            k = (k + 1) % n;
+            if alloc[i] < cap_groups[i] {
+                alloc[i] += 1;
+                assigned += 1;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return None; // caps exhausted — cannot happen given the sum check
+        }
+    }
+
+    Some(alloc.iter().map(|&g| g * r).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fractions_preserved() {
+        // 64 heads, r=8, fractional [32, 32] → unchanged.
+        let out = round_to_groups(&[32.0, 32.0], 8, 64, &[64, 64]).unwrap();
+        assert_eq!(out, vec![32, 32]);
+    }
+
+    #[test]
+    fn sums_to_total() {
+        let x = [13.3, 21.9, 28.8];
+        let out = round_to_groups(&x, 8, 64, &[64, 64, 64]).unwrap();
+        assert_eq!(out.iter().sum::<u32>(), 64);
+        assert!(out.iter().all(|&h| h % 8 == 0));
+    }
+
+    #[test]
+    fn respects_caps() {
+        // Device 0 can only take 8 heads (1 group).
+        let out = round_to_groups(&[40.0, 24.0], 8, 64, &[8, 64]).unwrap();
+        assert!(out[0] <= 8);
+        assert_eq!(out.iter().sum::<u32>(), 64);
+    }
+
+    #[test]
+    fn infeasible_caps() {
+        assert!(round_to_groups(&[32.0, 32.0], 8, 64, &[8, 8]).is_none());
+    }
+
+    #[test]
+    fn cap_floor_partial_groups_unusable() {
+        // cap 7 with r=8 means zero usable groups.
+        assert!(round_to_groups(&[64.0], 8, 64, &[63]).is_none());
+        let out = round_to_groups(&[64.0], 8, 64, &[64]).unwrap();
+        assert_eq!(out, vec![64]);
+    }
+
+    #[test]
+    fn mha_r1() {
+        let out = round_to_groups(&[10.4, 9.6, 20.0], 1, 40, &[40, 40, 40]).unwrap();
+        assert_eq!(out.iter().sum::<u32>(), 40);
+        // Largest remainder (0.6 on idx1... wait: fractions .4, .6, .0) →
+        // the extra unit goes to index 1.
+        assert_eq!(out, vec![10, 10, 20]);
+    }
+
+    #[test]
+    fn deterministic_ties() {
+        let a = round_to_groups(&[10.5, 10.5, 11.0], 1, 32, &[32, 32, 32]).unwrap();
+        let b = round_to_groups(&[10.5, 10.5, 11.0], 1, 32, &[32, 32, 32]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overfloor_trim() {
+        // Fractions already exceed the target after clipping to caps: the
+        // function trims deterministically.
+        let out = round_to_groups(&[16.0, 16.0], 8, 24, &[64, 64]).unwrap();
+        assert_eq!(out.iter().sum::<u32>(), 24);
+    }
+
+    #[test]
+    #[should_panic]
+    fn total_must_be_group_multiple() {
+        let _ = round_to_groups(&[10.0], 8, 12, &[64]);
+    }
+}

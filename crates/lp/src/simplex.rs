@@ -1,0 +1,517 @@
+//! Dense two-phase primal simplex.
+//!
+//! Solves `min c·x  s.t.  Aᵢx {≤,≥,=} bᵢ,  x ≥ 0` on a dense tableau.
+//! Pivot selection uses Dantzig's rule with a Bland's-rule fallback after a
+//! degeneracy streak, guaranteeing termination. Designed for the small
+//! (tens of variables × tens of constraints) problems the Dispatcher
+//! produces; everything is `Vec<f64>`-dense on purpose.
+
+/// Relational operator of a constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `≤`
+    Le,
+    /// `≥`
+    Ge,
+    /// `=`
+    Eq,
+}
+
+/// One constraint `coeffs · x (op) rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Coefficient per decision variable.
+    pub coeffs: Vec<f64>,
+    /// Relational operator.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program in the solver's canonical orientation:
+/// minimize `objective · x` over `x ≥ 0` subject to [`Constraint`]s.
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    /// Objective coefficients (minimized).
+    pub objective: Vec<f64>,
+    /// Constraint rows.
+    pub constraints: Vec<Constraint>,
+}
+
+/// Solver outcome for feasible bounded programs.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal primal point.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub objective: f64,
+}
+
+/// Solver failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// Structural problem (e.g. mismatched dimensions).
+    Malformed(String),
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "infeasible"),
+            LpError::Unbounded => write!(f, "unbounded"),
+            LpError::Malformed(m) => write!(f, "malformed LP: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+const EPS: f64 = 1e-9;
+
+impl LinearProgram {
+    /// A program over `n` variables with a zero objective.
+    pub fn new(n: usize) -> Self {
+        LinearProgram {
+            objective: vec![0.0; n],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Adds `coeffs · x (op) rhs`.
+    pub fn add_constraint(&mut self, coeffs: Vec<f64>, op: ConstraintOp, rhs: f64) {
+        self.constraints.push(Constraint { coeffs, op, rhs });
+    }
+
+    /// Solves the program.
+    ///
+    /// Numerical note: the tableau works in the caller's units. Callers
+    /// must pose problems in *sensibly scaled* units (coefficients within
+    /// a few orders of magnitude of 1); the dispatcher builds its LPs in
+    /// milliseconds/heads/gigabytes for exactly this reason. Row scaling
+    /// is applied here so no single constraint dominates pivoting.
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        let n = self.num_vars();
+        for (i, c) in self.constraints.iter().enumerate() {
+            if c.coeffs.len() != n {
+                return Err(LpError::Malformed(format!(
+                    "constraint {i} has {} coeffs, expected {n}",
+                    c.coeffs.len()
+                )));
+            }
+        }
+        // Row equilibration: scale each constraint so its largest
+        // coefficient is ~1 (direction preserved; solution unchanged).
+        let mut scaled = LinearProgram::new(n);
+        scaled.objective = self.objective.clone();
+        for c in &self.constraints {
+            let row_max = c
+                .coeffs
+                .iter()
+                .fold(0.0f64, |m, &a| m.max(a.abs()))
+                .max(f64::MIN_POSITIVE);
+            scaled.constraints.push(Constraint {
+                coeffs: c.coeffs.iter().map(|&a| a / row_max).collect(),
+                op: c.op,
+                rhs: c.rhs / row_max,
+            });
+        }
+        Tableau::build(&scaled).solve(&scaled.objective)
+    }
+}
+
+/// Internal simplex tableau with an explicit basis.
+struct Tableau {
+    /// rows × cols coefficient matrix; column layout:
+    /// [structural | slack/surplus | artificial], then rhs is separate.
+    a: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+    basis: Vec<usize>,
+    n_struct: usize,
+    n_total: usize,
+    artificial_start: usize,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Tableau {
+        let m = lp.constraints.len();
+        let n = lp.num_vars();
+
+        // Count auxiliary columns.
+        let mut n_slack = 0;
+        let mut n_art = 0;
+        for c in &lp.constraints {
+            // Orient rhs non-negative first to decide the aux layout.
+            let (op, rhs) = oriented(c);
+            match op {
+                ConstraintOp::Le => n_slack += 1,
+                ConstraintOp::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                ConstraintOp::Eq => n_art += 1,
+            }
+            let _ = rhs;
+        }
+
+        let n_total = n + n_slack + n_art;
+        let artificial_start = n + n_slack;
+        let mut a = vec![vec![0.0; n_total]; m];
+        let mut rhs = vec![0.0; m];
+        let mut basis = vec![usize::MAX; m];
+
+        let mut slack_col = n;
+        let mut art_col = artificial_start;
+        for (i, c) in lp.constraints.iter().enumerate() {
+            let (op, b) = oriented(c);
+            let sign = if c.rhs < 0.0 { -1.0 } else { 1.0 };
+            for (j, &v) in c.coeffs.iter().enumerate() {
+                a[i][j] = sign * v;
+            }
+            rhs[i] = b;
+            match op {
+                ConstraintOp::Le => {
+                    a[i][slack_col] = 1.0;
+                    basis[i] = slack_col;
+                    slack_col += 1;
+                }
+                ConstraintOp::Ge => {
+                    a[i][slack_col] = -1.0; // surplus
+                    slack_col += 1;
+                    a[i][art_col] = 1.0;
+                    basis[i] = art_col;
+                    art_col += 1;
+                }
+                ConstraintOp::Eq => {
+                    a[i][art_col] = 1.0;
+                    basis[i] = art_col;
+                    art_col += 1;
+                }
+            }
+        }
+
+        Tableau {
+            a,
+            rhs,
+            basis,
+            n_struct: n,
+            n_total,
+            artificial_start,
+        }
+    }
+
+    fn solve(mut self, objective: &[f64]) -> Result<LpSolution, LpError> {
+        // ---- Phase 1: minimize the sum of artificials.
+        if self.artificial_start < self.n_total {
+            let mut phase1 = vec![0.0; self.n_total];
+            for c in phase1.iter_mut().skip(self.artificial_start) {
+                *c = 1.0;
+            }
+            let z = self.optimize(&phase1)?;
+            if z > 1e-7 {
+                return Err(LpError::Infeasible);
+            }
+            self.evict_artificials();
+        }
+
+        // ---- Phase 2: the real objective over structural + slack columns.
+        let mut phase2 = vec![0.0; self.n_total];
+        phase2[..self.n_struct].copy_from_slice(&objective[..self.n_struct]);
+        let z = self.optimize(&phase2)?;
+
+        let mut x = vec![0.0; self.n_struct];
+        for (row, &col) in self.basis.iter().enumerate() {
+            if col < self.n_struct {
+                x[col] = self.rhs[row];
+            }
+        }
+        Ok(LpSolution { x, objective: z })
+    }
+
+    /// Primal simplex iterations for a given cost vector; returns the
+    /// optimal objective value. Artificial columns are never re-admitted
+    /// once phase 1 completes (their reduced costs are forced up).
+    fn optimize(&mut self, cost: &[f64]) -> Result<f64, LpError> {
+        let m = self.a.len();
+        let block_artificials = cost[..self.artificial_start]
+            .iter()
+            .all(|&c| c.abs() < f64::INFINITY)
+            && cost[self.artificial_start..].iter().all(|&c| c == 0.0)
+            && self.artificial_start < self.n_total;
+
+        // Hard cap: Bland's rule guarantees termination, so this only
+        // protects against numerical livelock.
+        let max_iters = 200 * (m + self.n_total) + 1000;
+
+        for _ in 0..max_iters {
+            // Reduced costs: c_j − c_B · B⁻¹A_j. The tableau is kept in
+            // canonical form, so this is a direct row combination.
+            // Pivot selection is pure Bland's rule (first improving
+            // column, min-ratio row with lowest basis index): slower per
+            // iteration count than Dantzig but immune to cycling and to
+            // the tie-break instabilities that bit the Dantzig variant on
+            // badly conditioned dispatch LPs.
+            let limit = if block_artificials {
+                self.artificial_start
+            } else {
+                self.n_total
+            };
+            let mut entering = None;
+            for j in 0..limit {
+                if self.basis.contains(&j) {
+                    continue;
+                }
+                let mut red = cost[j];
+                for (row, &bcol) in self.basis.iter().enumerate() {
+                    let cb = cost[bcol];
+                    if cb != 0.0 {
+                        red -= cb * self.a[row][j];
+                    }
+                }
+                if red < -EPS {
+                    entering = Some(j);
+                    break;
+                }
+            }
+
+            let Some(e) = entering else {
+                // Optimal.
+                let mut z = 0.0;
+                for (row, &bcol) in self.basis.iter().enumerate() {
+                    z += cost[bcol] * self.rhs[row];
+                }
+                return Ok(z);
+            };
+
+            // Exact min-ratio test; ties broken by lowest basis index.
+            let mut leaving: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for row in 0..m {
+                let aij = self.a[row][e];
+                if aij > EPS {
+                    let ratio = self.rhs[row] / aij;
+                    let better = match leaving {
+                        None => true,
+                        Some(l) => {
+                            ratio < best_ratio
+                                || (ratio == best_ratio && self.basis[row] < self.basis[l])
+                        }
+                    };
+                    if better {
+                        best_ratio = ratio;
+                        leaving = Some(row);
+                    }
+                }
+            }
+            let Some(l) = leaving else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(l, e);
+        }
+        Err(LpError::Malformed("simplex iteration cap exceeded".into()))
+    }
+
+    /// Gauss pivot on (row, col).
+    fn pivot(&mut self, row: usize, col: usize) {
+        let m = self.a.len();
+        let p = self.a[row][col];
+        debug_assert!(p.abs() > EPS);
+        let inv = 1.0 / p;
+        for v in self.a[row].iter_mut() {
+            *v *= inv;
+        }
+        self.rhs[row] *= inv;
+        for r in 0..m {
+            if r == row {
+                continue;
+            }
+            let factor = self.a[r][col];
+            if factor == 0.0 {
+                continue;
+            }
+            // Row operation r := r - factor * pivot_row.
+            let (pivot_row_vals, rhs_pivot) = (self.a[row].clone(), self.rhs[row]);
+            for (v, pv) in self.a[r].iter_mut().zip(pivot_row_vals.iter()) {
+                *v -= factor * pv;
+            }
+            self.rhs[r] -= factor * rhs_pivot;
+            // Clamp tiny negatives introduced by roundoff.
+            if self.rhs[r] < 0.0 && self.rhs[r] > -1e-10 {
+                self.rhs[r] = 0.0;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// After phase 1: pivot any artificial still in the basis out on a
+    /// non-artificial column, or drop its (redundant) row.
+    fn evict_artificials(&mut self) {
+        let m = self.a.len();
+        let mut drop_rows = Vec::new();
+        for row in 0..m {
+            if self.basis[row] >= self.artificial_start {
+                // Find a non-artificial column with nonzero coefficient.
+                let col = (0..self.artificial_start)
+                    .find(|&j| self.a[row][j].abs() > EPS && !self.basis.contains(&j));
+                match col {
+                    Some(j) => self.pivot(row, j),
+                    None => drop_rows.push(row),
+                }
+            }
+        }
+        // Remove redundant rows back-to-front.
+        for &row in drop_rows.iter().rev() {
+            self.a.remove(row);
+            self.rhs.remove(row);
+            self.basis.remove(row);
+        }
+    }
+}
+
+/// Orients a constraint so rhs ≥ 0, flipping the operator if needed.
+fn oriented(c: &Constraint) -> (ConstraintOp, f64) {
+    if c.rhs >= 0.0 {
+        (c.op, c.rhs)
+    } else {
+        let flipped = match c.op {
+            ConstraintOp::Le => ConstraintOp::Ge,
+            ConstraintOp::Ge => ConstraintOp::Le,
+            ConstraintOp::Eq => ConstraintOp::Eq,
+        };
+        (flipped, -c.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_max_as_min() {
+        // max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18  → (2,6), obj 36.
+        let mut lp = LinearProgram::new(2);
+        lp.objective = vec![-3.0, -5.0];
+        lp.add_constraint(vec![1.0, 0.0], ConstraintOp::Le, 4.0);
+        lp.add_constraint(vec![0.0, 2.0], ConstraintOp::Le, 12.0);
+        lp.add_constraint(vec![3.0, 2.0], ConstraintOp::Le, 18.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, -36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 10, x - y = 2 → (6,4), obj 10.
+        let mut lp = LinearProgram::new(2);
+        lp.objective = vec![1.0, 1.0];
+        lp.add_constraint(vec![1.0, 1.0], ConstraintOp::Eq, 10.0);
+        lp.add_constraint(vec![1.0, -1.0], ConstraintOp::Eq, 2.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.x[0], 6.0);
+        assert_close(s.x[1], 4.0);
+        assert_close(s.objective, 10.0);
+    }
+
+    #[test]
+    fn ge_constraints() {
+        // min 2x + 3y s.t. x + y >= 4, x >= 1 → (4,0)? obj: prefer x
+        // (cheaper): x=4,y=0, obj 8.
+        let mut lp = LinearProgram::new(2);
+        lp.objective = vec![2.0, 3.0];
+        lp.add_constraint(vec![1.0, 1.0], ConstraintOp::Ge, 4.0);
+        lp.add_constraint(vec![1.0, 0.0], ConstraintOp::Ge, 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 8.0);
+        assert_close(s.x[0], 4.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2.
+        let mut lp = LinearProgram::new(1);
+        lp.objective = vec![1.0];
+        lp.add_constraint(vec![1.0], ConstraintOp::Le, 1.0);
+        lp.add_constraint(vec![1.0], ConstraintOp::Ge, 2.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x with no upper bound.
+        let mut lp = LinearProgram::new(1);
+        lp.objective = vec![-1.0];
+        lp.add_constraint(vec![1.0], ConstraintOp::Ge, 0.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // min x s.t. -x <= -3  (i.e. x >= 3).
+        let mut lp = LinearProgram::new(1);
+        lp.objective = vec![1.0];
+        lp.add_constraint(vec![-1.0], ConstraintOp::Le, -3.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.x[0], 3.0);
+    }
+
+    #[test]
+    fn degenerate_program_terminates() {
+        // A classic degenerate instance (Beale's example scaled).
+        let mut lp = LinearProgram::new(4);
+        lp.objective = vec![-0.75, 150.0, -0.02, 6.0];
+        lp.add_constraint(vec![0.25, -60.0, -0.04, 9.0], ConstraintOp::Le, 0.0);
+        lp.add_constraint(vec![0.5, -90.0, -0.02, 3.0], ConstraintOp::Le, 0.0);
+        lp.add_constraint(vec![0.0, 0.0, 1.0, 0.0], ConstraintOp::Le, 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, -0.05);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let mut lp = LinearProgram::new(2);
+        lp.objective = vec![1.0, 1.0];
+        lp.add_constraint(vec![1.0], ConstraintOp::Le, 1.0);
+        assert!(matches!(lp.solve(), Err(LpError::Malformed(_))));
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y = 4 stated twice: still solvable.
+        let mut lp = LinearProgram::new(2);
+        lp.objective = vec![1.0, 2.0];
+        lp.add_constraint(vec![1.0, 1.0], ConstraintOp::Eq, 4.0);
+        lp.add_constraint(vec![2.0, 2.0], ConstraintOp::Eq, 8.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 4.0); // all weight on x
+        assert_close(s.x[0], 4.0);
+    }
+
+    #[test]
+    fn solution_satisfies_constraints() {
+        let mut lp = LinearProgram::new(3);
+        lp.objective = vec![1.0, 1.5, 0.7];
+        lp.add_constraint(vec![1.0, 1.0, 1.0], ConstraintOp::Eq, 10.0);
+        lp.add_constraint(vec![1.0, 0.0, 0.0], ConstraintOp::Le, 4.0);
+        lp.add_constraint(vec![0.0, 1.0, 0.0], ConstraintOp::Le, 5.0);
+        lp.add_constraint(vec![0.0, 0.0, 1.0], ConstraintOp::Le, 6.0);
+        let s = lp.solve().unwrap();
+        let sum: f64 = s.x.iter().sum();
+        assert_close(sum, 10.0);
+        assert!(s.x[0] <= 4.0 + 1e-9 && s.x[1] <= 5.0 + 1e-9 && s.x[2] <= 6.0 + 1e-9);
+        // Cheapest fill: x3 (0.7) to 6, then x1 (1.0) to 4 → obj 8.2.
+        assert_close(s.objective, 6.0 * 0.7 + 4.0 * 1.0);
+    }
+}

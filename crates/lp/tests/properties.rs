@@ -1,0 +1,104 @@
+//! Property-based tests for the LP solver and head rounding.
+
+use hetis_lp::{
+    round_to_groups, AffineExpr, ConstraintOp, LinearProgram, MinMaxBuilder,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any returned solution of a random ≤-constrained LP is feasible and
+    /// its objective matches c·x.
+    #[test]
+    fn solutions_are_feasible(
+        n in 1usize..5,
+        m in 1usize..6,
+        seed_rows in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..5.0, 5), 6),
+        rhs in proptest::collection::vec(1.0f64..50.0, 6),
+        obj in proptest::collection::vec(-3.0f64..3.0, 5),
+    ) {
+        let mut lp = LinearProgram::new(n);
+        lp.objective = obj[..n].to_vec();
+        // Bound the feasible region so the program is never unbounded:
+        // sum(x) <= 100.
+        lp.add_constraint(vec![1.0; n], ConstraintOp::Le, 100.0);
+        for i in 0..m {
+            lp.add_constraint(seed_rows[i][..n].to_vec(), ConstraintOp::Le, rhs[i]);
+        }
+        let sol = lp.solve().expect("bounded nonempty program must solve");
+        // Nonnegativity.
+        for &xi in &sol.x {
+            prop_assert!(xi >= -1e-7, "negative variable {xi}");
+        }
+        // Constraint satisfaction.
+        for c in &lp.constraints {
+            let lhs: f64 = c.coeffs.iter().zip(&sol.x).map(|(a, b)| a * b).sum();
+            prop_assert!(lhs <= c.rhs + 1e-6, "violated: {lhs} > {}", c.rhs);
+        }
+        // Objective consistency.
+        let z: f64 = lp.objective.iter().zip(&sol.x).map(|(a, b)| a * b).sum();
+        prop_assert!((z - sol.objective).abs() < 1e-6);
+    }
+
+    /// The min–max balancer over independent machines matches the exact
+    /// analytic optimum: with per-unit costs sᵢ and total T, the optimum is
+    /// T / Σ(1/sᵢ) when no caps bind.
+    #[test]
+    fn minmax_matches_analytic_waterfill(
+        speeds in proptest::collection::vec(0.2f64..8.0, 2..5),
+        total in 1.0f64..100.0,
+    ) {
+        let n = speeds.len();
+        let mut b = MinMaxBuilder::new(n);
+        for (i, &s) in speeds.iter().enumerate() {
+            let mut coeffs = vec![0.0; n];
+            coeffs[i] = s;
+            b.add_max_term(AffineExpr { constant: 0.0, coeffs });
+        }
+        b.add_constraint(vec![1.0; n], ConstraintOp::Eq, total);
+        let sol = b.solve().unwrap();
+        let analytic = total / speeds.iter().map(|s| 1.0 / s).sum::<f64>();
+        prop_assert!((sol.max_value - analytic).abs() / analytic < 1e-6,
+            "{} vs {}", sol.max_value, analytic);
+    }
+
+    /// Rounding preserves totals, multiples of r, and caps.
+    #[test]
+    fn rounding_invariants(
+        weights in proptest::collection::vec(0.0f64..10.0, 2..6),
+        r in prop_oneof![Just(1u32), Just(2), Just(4), Just(8)],
+        groups_total in 1u32..16,
+    ) {
+        let total = groups_total * r;
+        let n = weights.len();
+        // Normalize weights so they sum to `total` heads.
+        let sum: f64 = weights.iter().sum::<f64>().max(1e-9);
+        let x: Vec<f64> = weights.iter().map(|w| w / sum * total as f64).collect();
+        let cap = vec![total; n]; // generous caps
+        let out = round_to_groups(&x, r, total, &cap).expect("feasible");
+        prop_assert_eq!(out.iter().sum::<u32>(), total);
+        for (i, &h) in out.iter().enumerate() {
+            prop_assert!(h % r == 0);
+            prop_assert!(h <= cap[i]);
+        }
+        // Rounding error per device is bounded by one group (after
+        // cap-clipping and remainder distribution, ±2r is a safe bound).
+        for (i, &h) in out.iter().enumerate() {
+            prop_assert!((h as f64 - x[i]).abs() <= 2.0 * r as f64 + 1e-9,
+                "device {i}: {h} vs {}", x[i]);
+        }
+    }
+
+    /// Tight caps: when the caps exactly cover the demand, everything is
+    /// allocated to capacity.
+    #[test]
+    fn rounding_tight_caps(groups in 1u32..12, r in prop_oneof![Just(1u32), Just(8)]) {
+        let total = groups * r;
+        // Two devices, caps exactly covering total.
+        let c0 = (groups / 2) * r;
+        let c1 = total - c0;
+        let out = round_to_groups(&[total as f64, 0.0], r, total, &[c0, c1]).unwrap();
+        prop_assert_eq!(out[0], c0);
+        prop_assert_eq!(out[1], c1);
+    }
+}

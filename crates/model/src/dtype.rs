@@ -1,0 +1,57 @@
+//! Numeric formats for weights, activations and KV caches.
+
+/// Element data type. The paper serves all models in FP16; BF16/FP32 are
+/// provided for completeness (e.g. what-if sweeps in examples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// IEEE half precision — the paper's serving dtype.
+    F16,
+    /// bfloat16.
+    BF16,
+    /// IEEE single precision.
+    F32,
+}
+
+impl DType {
+    /// Bytes per element.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            DType::F16 | DType::BF16 => 2,
+            DType::F32 => 4,
+        }
+    }
+
+    /// Short lowercase name (`"f16"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::F16 => "f16",
+            DType::BF16 => "bf16",
+            DType::F32 => "f32",
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F16.bytes(), 2);
+        assert_eq!(DType::BF16.bytes(), 2);
+        assert_eq!(DType::F32.bytes(), 4);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(DType::F16.to_string(), "f16");
+        assert_eq!(DType::F32.name(), "f32");
+    }
+}

@@ -1,0 +1,25 @@
+//! Transformer model descriptions and per-module cost arithmetic.
+//!
+//! The Hetis paper evaluates Llama-13B, OPT-30B and Llama-70B (a GQA model),
+//! profiles OPT-2.7B in its Table 1 and motivates with Llama2 memory
+//! numbers. This crate encodes those architectures and exposes the exact
+//! FLOP/byte arithmetic the rest of the system uses for:
+//!
+//! * dense-module cost (QKV projection, attention output projection, MLP),
+//! * attention cost (prefill quadratic, decode KV-bound),
+//! * parameter and KV-cache memory footprints (MHA and GQA).
+//!
+//! All quantities are *per layer* unless a function name says otherwise, so
+//! pipeline-parallel stages can scale costs by their layer count.
+
+pub mod dtype;
+pub mod kv;
+pub mod modules;
+pub mod registry;
+pub mod spec;
+
+pub use dtype::DType;
+pub use kv::KvFootprint;
+pub use modules::{DenseOp, ModuleCosts};
+pub use registry::{llama2_7b, llama_13b, llama_70b, opt_13b, opt_2_7b, opt_30b, ModelId};
+pub use spec::{MlpKind, ModelSpec};

@@ -1,0 +1,391 @@
+//! Iteration cost estimation (HexGen-style `C_comp` + `C_comm`, Eq. 1).
+//!
+//! These estimators are used three ways:
+//! * by the Hetis Parallelizer to rank candidate primary-worker configs,
+//! * by the HexGen baseline to pick its static partition,
+//! * by the serving engine as the execution-time ground truth for stages
+//!   (the engine adds Hetis's distributed-attention term on top).
+
+use crate::config::{InstanceConfig, StageConfig};
+use hetis_cluster::{
+    all_reduce_time, attn_decode_time, attn_prefill_time, dense_decode_time, dense_prefill_time,
+    p2p_time, AttnWork, Cluster, DenseWork, DeviceSpec,
+};
+use hetis_model::{KvFootprint, ModelSpec, ModuleCosts};
+
+/// Aggregate decode batch flowing through an instance in one iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DecodeBatch {
+    /// Sequences decoding (one new token each).
+    pub seqs: u64,
+    /// Total context tokens across those sequences (drives KV reads).
+    pub sum_context: u64,
+}
+
+/// Aggregate prefill batch in one iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PrefillBatch {
+    /// Number of prompts.
+    pub seqs: u64,
+    /// Total prompt tokens.
+    pub tokens: u64,
+    /// Σ Lᵢ² over the prompts (quadratic attention term).
+    pub sq_sum: f64,
+}
+
+impl PrefillBatch {
+    /// Profile for `seqs` prompts of uniform length `len`.
+    pub fn uniform(seqs: u64, len: u64) -> Self {
+        PrefillBatch {
+            seqs,
+            tokens: seqs * len,
+            sq_sum: seqs as f64 * (len as f64) * (len as f64),
+        }
+    }
+}
+
+/// Per-layer decode time on one device holding a `1/tp` shard.
+fn decode_layer_device_time(
+    spec: &DeviceSpec,
+    costs: &ModuleCosts<'_>,
+    kv: &KvFootprint<'_>,
+    batch: &DecodeBatch,
+    tp: f64,
+) -> f64 {
+    let tokens = batch.seqs;
+    let dense = DenseWork {
+        flops: costs.dense_flops_total(tokens) / tp,
+        weight_bytes: costs.spec().weight_bytes_per_layer() as f64 / tp,
+    };
+    let attn = AttnWork {
+        query_heads: (batch.seqs * costs.spec().num_heads as u64) as f64 / tp,
+        kv_bytes: (batch.sum_context * kv.bytes_per_token_per_layer()) as f64 / tp,
+    };
+    dense_decode_time(spec, dense, 3) + attn_decode_time(spec, attn)
+}
+
+/// Per-layer prefill time on one device holding a `1/tp` shard.
+fn prefill_layer_device_time(
+    spec: &DeviceSpec,
+    costs: &ModuleCosts<'_>,
+    batch: &PrefillBatch,
+    tp: f64,
+) -> f64 {
+    let dense = DenseWork {
+        flops: costs.dense_flops_total(batch.tokens) / tp,
+        weight_bytes: costs.spec().weight_bytes_per_layer() as f64 / tp,
+    };
+    let m = costs.spec();
+    let attn_flops =
+        2.0 * m.num_heads as f64 * m.head_dim as f64 * batch.sq_sum / tp;
+    dense_prefill_time(spec, dense, 3) + attn_prefill_time(spec, attn_flops)
+}
+
+/// Decode-iteration time of one stage, including TP all-reduces; adds the
+/// LM-head weight stream when `lm_head` (last stage of the pipeline).
+pub fn decode_stage_time(
+    cluster: &Cluster,
+    model: &ModelSpec,
+    stage: &StageConfig,
+    batch: &DecodeBatch,
+    lm_head: bool,
+) -> f64 {
+    if batch.seqs == 0 {
+        return 0.0;
+    }
+    let costs = ModuleCosts::new(model);
+    let kv = KvFootprint::new(model);
+    let tp = stage.tp() as f64;
+    let compute = stage
+        .devices
+        .iter()
+        .map(|&d| decode_layer_device_time(cluster.spec(d), &costs, &kv, batch, tp))
+        .fold(0.0_f64, f64::max);
+    let comm = if stage.tp() > 1 {
+        2.0 * all_reduce_time(
+            cluster.worst_link(&stage.devices),
+            stage.tp(),
+            costs.activation_bytes(batch.seqs) as f64,
+        )
+    } else {
+        0.0
+    };
+    let lm = if lm_head {
+        let lm_bytes = (model.vocab_size * model.hidden_size * model.dtype.bytes()) as f64 / tp;
+        let worst_bw = stage
+            .devices
+            .iter()
+            .map(|&d| cluster.spec(d).decode_stream_bw)
+            .fold(f64::INFINITY, f64::min);
+        lm_bytes / worst_bw
+    } else {
+        0.0
+    };
+    stage.layers as f64 * (compute + comm) + lm
+}
+
+/// Prefill-iteration time of one stage (see [`decode_stage_time`]).
+pub fn prefill_stage_time(
+    cluster: &Cluster,
+    model: &ModelSpec,
+    stage: &StageConfig,
+    batch: &PrefillBatch,
+    lm_head: bool,
+) -> f64 {
+    if batch.tokens == 0 {
+        return 0.0;
+    }
+    let costs = ModuleCosts::new(model);
+    let tp = stage.tp() as f64;
+    let compute = stage
+        .devices
+        .iter()
+        .map(|&d| prefill_layer_device_time(cluster.spec(d), &costs, batch, tp))
+        .fold(0.0_f64, f64::max);
+    let comm = if stage.tp() > 1 {
+        2.0 * all_reduce_time(
+            cluster.worst_link(&stage.devices),
+            stage.tp(),
+            costs.activation_bytes(batch.tokens) as f64,
+        )
+    } else {
+        0.0
+    };
+    let lm = if lm_head {
+        // Only the last position of each prompt goes through the LM head.
+        let lm_bytes = (model.vocab_size * model.hidden_size * model.dtype.bytes()) as f64 / tp;
+        let worst_bw = stage
+            .devices
+            .iter()
+            .map(|&d| cluster.spec(d).decode_stream_bw)
+            .fold(f64::INFINITY, f64::min);
+        lm_bytes / worst_bw
+    } else {
+        0.0
+    };
+    stage.layers as f64 * (compute + comm) + lm
+}
+
+/// Full-instance cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel<'a> {
+    /// The cluster.
+    pub cluster: &'a Cluster,
+    /// The model being served.
+    pub model: &'a ModelSpec,
+}
+
+impl<'a> CostModel<'a> {
+    /// New cost model over `cluster` serving `model`.
+    pub fn new(cluster: &'a Cluster, model: &'a ModelSpec) -> Self {
+        CostModel { cluster, model }
+    }
+
+    /// Inter-stage activation hand-off time for `tokens` tokens.
+    fn p2p_between(&self, from: &StageConfig, to: &StageConfig, tokens: u64) -> f64 {
+        let bytes = (tokens * self.model.hidden_state_bytes_per_token()) as f64;
+        // Worst pairwise link between the two groups.
+        let mut worst = self.cluster.link(from.devices[0], to.devices[0]);
+        for &a in &from.devices {
+            for &b in &to.devices {
+                let l = self.cluster.link(a, b);
+                if l.beta > worst.beta {
+                    worst = l;
+                }
+            }
+        }
+        p2p_time(worst, bytes)
+    }
+
+    /// End-to-end decode iteration latency of an instance: sum of stage
+    /// times plus inter-stage hand-offs (the latency view; throughput
+    /// under saturation is governed by the max stage, which the engine's
+    /// pipelined executor captures naturally).
+    pub fn decode_iteration(&self, inst: &InstanceConfig, batch: &DecodeBatch) -> f64 {
+        let last = inst.stages.len() - 1;
+        let mut total = 0.0;
+        for (i, stage) in inst.stages.iter().enumerate() {
+            total += decode_stage_time(self.cluster, self.model, stage, batch, i == last);
+            if i < last {
+                total += self.p2p_between(stage, &inst.stages[i + 1], batch.seqs);
+            }
+        }
+        total
+    }
+
+    /// End-to-end prefill iteration latency of an instance.
+    pub fn prefill_iteration(&self, inst: &InstanceConfig, batch: &PrefillBatch) -> f64 {
+        let last = inst.stages.len() - 1;
+        let mut total = 0.0;
+        for (i, stage) in inst.stages.iter().enumerate() {
+            total += prefill_stage_time(self.cluster, self.model, stage, batch, i == last);
+            if i < last {
+                total += self.p2p_between(stage, &inst.stages[i + 1], batch.tokens);
+            }
+        }
+        total
+    }
+
+    /// The paper's fast screening cost `C_p`: maximum stage *compute* time
+    /// under perfect latency scaling (devices of a stage fuse into one
+    /// virtual device with summed throughput; no communication).
+    pub fn cp_decode(&self, inst: &InstanceConfig, batch: &DecodeBatch) -> f64 {
+        let costs = ModuleCosts::new(self.model);
+        let kv = KvFootprint::new(self.model);
+        inst.stages
+            .iter()
+            .map(|stage| {
+                let virt = virtual_fused_spec(self.cluster, stage);
+                stage.layers as f64
+                    * decode_layer_device_time(&virt, &costs, &kv, batch, 1.0)
+            })
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Combined steady-state cost for a workload profile: one prefill
+    /// iteration plus `decode_steps` decode iterations. This is the `C(·)`
+    /// the Parallelizer minimizes (Eq. 1).
+    pub fn combined_cost(
+        &self,
+        inst: &InstanceConfig,
+        prefill: &PrefillBatch,
+        decode: &DecodeBatch,
+        decode_steps: f64,
+    ) -> f64 {
+        self.prefill_iteration(inst, prefill) + decode_steps * self.decode_iteration(inst, decode)
+    }
+}
+
+/// Fuses a stage's devices into one virtual device with summed throughput
+/// (perfect scaling), for the `C_p` screen.
+fn virtual_fused_spec(cluster: &Cluster, stage: &StageConfig) -> DeviceSpec {
+    let mut it = stage.devices.iter();
+    let first = *it.next().expect("stage has devices");
+    let mut spec = *cluster.spec(first);
+    for &d in it {
+        let s = cluster.spec(d);
+        spec.dense_flops += s.dense_flops;
+        spec.decode_stream_bw += s.decode_stream_bw;
+        spec.attn_bw += s.attn_bw;
+        spec.attn_per_head = spec.attn_per_head.min(s.attn_per_head);
+        spec.launch_overhead = spec.launch_overhead.min(s.launch_overhead);
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetis_cluster::cluster::paper_cluster;
+    use hetis_cluster::GpuType;
+    use hetis_model::{llama_70b, opt_30b};
+
+    fn a100_stage(cluster: &Cluster, tp: usize, layers: u32) -> StageConfig {
+        StageConfig {
+            devices: cluster.devices_of_type(GpuType::A100)[..tp].to_vec(),
+            layers,
+        }
+    }
+
+    #[test]
+    fn tp_reduces_stage_time_but_not_linearly() {
+        let c = paper_cluster();
+        let m = opt_30b();
+        let batch = DecodeBatch {
+            seqs: 64,
+            sum_context: 64 * 512,
+        };
+        let t1 = decode_stage_time(&c, &m, &a100_stage(&c, 1, 48), &batch, false);
+        let t4 = decode_stage_time(&c, &m, &a100_stage(&c, 4, 48), &batch, false);
+        assert!(t4 < t1, "TP4 {t4} should beat TP1 {t1}");
+        assert!(t4 > t1 / 4.0, "all-reduce overhead must show up");
+    }
+
+    #[test]
+    fn p100_stage_dominates_mixed_pipeline() {
+        // A pipeline that gives P100s as many layers as the A100s is
+        // bottlenecked by the P100 stage (the §2.3 problem).
+        let c = paper_cluster();
+        let m = llama_70b();
+        let p100 = StageConfig {
+            devices: c.devices_of_type(GpuType::P100),
+            layers: 40,
+        };
+        let a100 = a100_stage(&c, 4, 40);
+        let batch = DecodeBatch {
+            seqs: 32,
+            sum_context: 32 * 1000,
+        };
+        let tp = decode_stage_time(&c, &m, &p100, &batch, false);
+        let ta = decode_stage_time(&c, &m, &a100, &batch, false);
+        assert!(tp > 4.0 * ta, "P100 {tp} vs A100 {ta}");
+    }
+
+    #[test]
+    fn prefill_scales_with_tokens() {
+        let c = paper_cluster();
+        let m = opt_30b();
+        let s = a100_stage(&c, 4, 48);
+        let t1 = prefill_stage_time(&c, &m, &s, &PrefillBatch::uniform(2, 512), false);
+        let t2 = prefill_stage_time(&c, &m, &s, &PrefillBatch::uniform(4, 512), false);
+        assert!(t2 > 1.7 * t1 && t2 < 2.3 * t1, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn iteration_sums_stages_and_p2p() {
+        let c = paper_cluster();
+        let m = opt_30b();
+        let inst = InstanceConfig {
+            stages: vec![a100_stage(&c, 2, 24), {
+                let r = c.devices_of_type(GpuType::Rtx3090);
+                StageConfig {
+                    devices: r[..2].to_vec(),
+                    layers: 24,
+                }
+            }],
+        };
+        let cm = CostModel::new(&c, &m);
+        let batch = DecodeBatch {
+            seqs: 16,
+            sum_context: 16 * 256,
+        };
+        let total = cm.decode_iteration(&inst, &batch);
+        let s0 = decode_stage_time(&c, &m, &inst.stages[0], &batch, false);
+        let s1 = decode_stage_time(&c, &m, &inst.stages[1], &batch, true);
+        assert!(total > s0 + s1, "p2p must add: {total} vs {}", s0 + s1);
+        assert!(total < (s0 + s1) * 1.2);
+    }
+
+    #[test]
+    fn cp_ignores_comm_and_uses_fused_throughput() {
+        let c = paper_cluster();
+        let m = opt_30b();
+        let inst = InstanceConfig {
+            stages: vec![a100_stage(&c, 4, 48)],
+        };
+        let cm = CostModel::new(&c, &m);
+        let batch = DecodeBatch {
+            seqs: 64,
+            sum_context: 64 * 512,
+        };
+        let cp = cm.cp_decode(&inst, &batch);
+        let full = cm.decode_iteration(&inst, &batch);
+        assert!(cp < full, "C_p {cp} must undercut the full cost {full}");
+        assert!(cp > 0.0);
+    }
+
+    #[test]
+    fn empty_batches_cost_nothing() {
+        let c = paper_cluster();
+        let m = opt_30b();
+        let s = a100_stage(&c, 1, 48);
+        assert_eq!(
+            decode_stage_time(&c, &m, &s, &DecodeBatch::default(), true),
+            0.0
+        );
+        assert_eq!(
+            prefill_stage_time(&c, &m, &s, &PrefillBatch::default(), true),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Bounded enumeration of parallel shapes.
+//!
+//! The paper's hierarchical search (Fig. 4) first groups devices into DP
+//! instances ("GPUs of different types are evenly divided across all
+//! instances"), then treats each type inside an instance as one unified
+//! pipeline stage, then explores TP×PP combinations *within* each unified
+//! stage. These helpers produce exactly those candidate sets, kept small
+//! by exploiting device interchangeability within a type.
+
+use hetis_cluster::{Cluster, DeviceId, GpuType};
+
+/// The devices of one GPU type belonging to one instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeGroup {
+    /// The GPU type.
+    pub gpu: GpuType,
+    /// Devices, ordered host-contiguously.
+    pub devices: Vec<DeviceId>,
+}
+
+/// Splits the cluster into `dp` instances with each GPU type divided
+/// evenly. Returns `None` when some type's count is not divisible by `dp`.
+pub fn dp_groupings(cluster: &Cluster, dp: usize) -> Option<Vec<Vec<TypeGroup>>> {
+    assert!(dp >= 1);
+    let types = cluster.gpu_types_by_power();
+    for t in &types {
+        if cluster.devices_of_type(*t).len() % dp != 0 {
+            return None;
+        }
+    }
+    let mut instances: Vec<Vec<TypeGroup>> = vec![Vec::new(); dp];
+    for t in types {
+        let devices = cluster.devices_of_type(t);
+        let chunk = devices.len() / dp;
+        for (i, slice) in devices.chunks(chunk).enumerate() {
+            instances[i].push(TypeGroup {
+                gpu: t,
+                devices: slice.to_vec(),
+            });
+        }
+    }
+    Some(instances)
+}
+
+/// Enumerates TP×PP shapes over a set of same-type devices: every
+/// `(tp, pp)` with `tp × pp == n` and `tp ∈ {1, 2, 4, 8}`, materialized as
+/// an ordered list of TP groups. Devices are sliced host-contiguously so
+/// intra-host TP is preferred whenever counts allow.
+pub fn tp_pp_shapes(cluster: &Cluster, devices: &[DeviceId]) -> Vec<Vec<Vec<DeviceId>>> {
+    let n = devices.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Host-contiguous ordering keeps TP groups inside hosts when possible.
+    let mut ordered = devices.to_vec();
+    ordered.sort_by_key(|&d| (cluster.device(d).host, d));
+
+    let mut shapes = Vec::new();
+    for tp in [1usize, 2, 4, 8] {
+        if tp > n || n % tp != 0 {
+            continue;
+        }
+        let groups: Vec<Vec<DeviceId>> = ordered.chunks(tp).map(|c| c.to_vec()).collect();
+        shapes.push(groups);
+    }
+    shapes
+}
+
+/// Candidate DP degrees worth trying for a cluster: divisors of the
+/// smallest per-type device count (larger DP cannot divide types evenly).
+pub fn candidate_dp_degrees(cluster: &Cluster) -> Vec<usize> {
+    let min_count = cluster
+        .gpu_types_by_power()
+        .iter()
+        .map(|&t| cluster.devices_of_type(t).len())
+        .min()
+        .unwrap_or(0);
+    (1..=min_count)
+        .filter(|dp| dp_groupings(cluster, *dp).is_some())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetis_cluster::cluster::{large_synthetic, paper_cluster};
+
+    #[test]
+    fn paper_cluster_dp_options() {
+        let c = paper_cluster();
+        let dps = candidate_dp_degrees(&c);
+        assert_eq!(dps, vec![1, 2, 4]);
+        assert!(dp_groupings(&c, 3).is_none());
+    }
+
+    #[test]
+    fn dp2_splits_types_evenly() {
+        let c = paper_cluster();
+        let insts = dp_groupings(&c, 2).unwrap();
+        assert_eq!(insts.len(), 2);
+        for inst in &insts {
+            assert_eq!(inst.len(), 3); // three types
+            assert!(inst.iter().all(|g| g.devices.len() == 2));
+        }
+        // No device is assigned twice.
+        let mut all: Vec<DeviceId> = insts
+            .iter()
+            .flat_map(|i| i.iter().flat_map(|g| g.devices.iter().copied()))
+            .collect();
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n);
+        assert_eq!(n, 12);
+    }
+
+    #[test]
+    fn tp_pp_shapes_for_four_devices() {
+        let c = paper_cluster();
+        let a100 = c.devices_of_type(GpuType::A100);
+        let shapes = tp_pp_shapes(&c, &a100);
+        // tp ∈ {1,2,4}: shapes = [1,1,1,1], [2,2], [4].
+        assert_eq!(shapes.len(), 3);
+        assert!(shapes.iter().any(|s| s.len() == 4 && s[0].len() == 1));
+        assert!(shapes.iter().any(|s| s.len() == 2 && s[0].len() == 2));
+        assert!(shapes.iter().any(|s| s.len() == 1 && s[0].len() == 4));
+    }
+
+    #[test]
+    fn tp_groups_stay_within_hosts_when_possible() {
+        let c = paper_cluster();
+        // The four 3090s live on two hosts (2+2): TP2 groups must be
+        // host-local.
+        let r = c.devices_of_type(GpuType::Rtx3090);
+        let shapes = tp_pp_shapes(&c, &r);
+        let tp2 = shapes.iter().find(|s| s[0].len() == 2).unwrap();
+        for group in tp2 {
+            let h0 = c.device(group[0]).host;
+            assert!(group.iter().all(|&d| c.device(d).host == h0));
+        }
+    }
+
+    #[test]
+    fn synthetic_cluster_shapes() {
+        let c = large_synthetic(2, 8);
+        let t0 = c.devices_of_type(GpuType::Custom(0));
+        let shapes = tp_pp_shapes(&c, &t0);
+        // 8 devices: tp 1,2,4,8 all divide.
+        assert_eq!(shapes.len(), 4);
+        let empty: Vec<DeviceId> = Vec::new();
+        assert!(tp_pp_shapes(&c, &empty).is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! Tensor/pipeline/data parallel configuration algebra and cost models.
+//!
+//! Shared by the Hetis Parallelizer (`hetis-core`) and the HexGen baseline
+//! (`hetis-baselines`):
+//!
+//! * [`config`] — the `ParallelConfig` type: data-parallel instances, each
+//!   a chain of pipeline stages, each a tensor-parallel device group over a
+//!   contiguous layer range.
+//! * [`cost`] — HexGen-style `C_comp`/`C_comm` iteration cost estimation
+//!   (Eq. 1's objective) built on the calibrated kernel and network models,
+//!   plus the fast `C_p` (max-stage-compute, perfect scaling) used by the
+//!   paper's hierarchical search.
+//! * [`partition`] — layer→stage splitting that balances stage compute.
+//! * [`enumerate`] — bounded enumeration of TP×PP shapes within device
+//!   groups and even DP groupings of the cluster.
+//! * [`placement`] — per-device weight footprints and KV-pool sizing for a
+//!   configuration.
+
+pub mod config;
+pub mod cost;
+pub mod enumerate;
+pub mod partition;
+pub mod placement;
+
+pub use config::{InstanceConfig, ParallelConfig, StageConfig};
+pub use cost::{decode_stage_time, prefill_stage_time, CostModel, DecodeBatch, PrefillBatch};
+pub use enumerate::{dp_groupings, tp_pp_shapes, TypeGroup};
+pub use partition::balance_layers;
+pub use placement::{device_weight_bytes, kv_pool_bytes, PlacementSummary};

@@ -1,0 +1,132 @@
+//! Layer → stage balancing: split `L` identical layers across stages in
+//! proportion to stage throughput, minimizing the max per-stage time.
+
+/// Splits `total_layers` across stages with relative speeds `speeds`
+/// (higher = faster), minimizing `max(layersᵢ / speedᵢ)`. Every stage gets
+/// at least one layer. Deterministic.
+///
+/// Proportional seeding + greedy bottleneck fix-up is optimal here because
+/// layers are identical and stage time is linear in layer count.
+pub fn balance_layers(total_layers: u32, speeds: &[f64]) -> Vec<u32> {
+    assert!(!speeds.is_empty());
+    assert!(speeds.iter().all(|&s| s > 0.0));
+    let k = speeds.len() as u32;
+    assert!(
+        total_layers >= k,
+        "need at least one layer per stage ({total_layers} < {k})"
+    );
+    let speed_sum: f64 = speeds.iter().sum();
+
+    // Proportional floor with a 1-layer minimum.
+    let mut layers: Vec<u32> = speeds
+        .iter()
+        .map(|&s| ((total_layers as f64 * s / speed_sum).floor() as u32).max(1))
+        .collect();
+
+    // Fix the sum by moving single layers to/from the stage where it
+    // helps/hurts the bottleneck least.
+    let mut sum: u32 = layers.iter().sum();
+    while sum < total_layers {
+        // Give a layer to the stage whose resulting time stays smallest.
+        let i = (0..layers.len())
+            .min_by(|&a, &b| {
+                let ta = (layers[a] + 1) as f64 / speeds[a];
+                let tb = (layers[b] + 1) as f64 / speeds[b];
+                ta.partial_cmp(&tb).unwrap().then(a.cmp(&b))
+            })
+            .unwrap();
+        layers[i] += 1;
+        sum += 1;
+    }
+    while sum > total_layers {
+        // Take a layer from the stage with the largest current time that
+        // can spare one.
+        let i = (0..layers.len())
+            .filter(|&i| layers[i] > 1)
+            .max_by(|&a, &b| {
+                let ta = layers[a] as f64 / speeds[a];
+                let tb = layers[b] as f64 / speeds[b];
+                ta.partial_cmp(&tb).unwrap().then(b.cmp(&a))
+            })
+            .expect("sum > stages implies a donor exists");
+        layers[i] -= 1;
+        sum -= 1;
+    }
+    layers
+}
+
+/// The bottleneck value `max(layersᵢ / speedᵢ)` of an assignment.
+pub fn bottleneck(layers: &[u32], speeds: &[f64]) -> f64 {
+    layers
+        .iter()
+        .zip(speeds)
+        .map(|(&l, &s)| l as f64 / s)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_speeds_equal_split() {
+        assert_eq!(balance_layers(40, &[1.0, 1.0]), vec![20, 20]);
+        assert_eq!(balance_layers(41, &[1.0, 1.0]), vec![21, 20]);
+    }
+
+    #[test]
+    fn proportional_to_speed() {
+        // Speeds 3:1 → layers 30:10.
+        assert_eq!(balance_layers(40, &[3.0, 1.0]), vec![30, 10]);
+    }
+
+    #[test]
+    fn every_stage_gets_a_layer() {
+        // A very slow stage still needs ≥ 1 layer.
+        let l = balance_layers(80, &[100.0, 0.001]);
+        assert_eq!(l.iter().sum::<u32>(), 80);
+        assert!(l[1] >= 1);
+        assert_eq!(l[1], 1);
+    }
+
+    #[test]
+    fn sums_always_exact() {
+        for total in [2u32, 7, 40, 48, 80] {
+            for speeds in [
+                vec![1.0, 2.0],
+                vec![5.0, 1.0, 3.0],
+                vec![1.0, 1.0, 1.0, 1.0],
+                vec![27.7, 11.3, 1.0],
+            ] {
+                if total >= speeds.len() as u32 {
+                    let l = balance_layers(total, &speeds);
+                    assert_eq!(l.iter().sum::<u32>(), total, "{total} {speeds:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn near_optimal_bottleneck() {
+        // Compare against brute force on a small instance.
+        let speeds = [2.5, 1.0, 4.0];
+        let total = 16u32;
+        let ours = bottleneck(&balance_layers(total, &speeds), &speeds);
+        let mut best = f64::INFINITY;
+        for a in 1..total - 1 {
+            for b in 1..total - a {
+                let c = total - a - b;
+                if c >= 1 {
+                    best = best.min(bottleneck(&[a, b, c], &speeds));
+                }
+            }
+        }
+        assert!(ours <= best * 1.0 + 1e-12, "ours {ours} vs optimal {best}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_layers_panics() {
+        let _ = balance_layers(2, &[1.0, 1.0, 1.0]);
+    }
+}

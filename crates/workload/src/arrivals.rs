@@ -1,0 +1,194 @@
+//! Arrival processes: Poisson and piecewise time-varying rates.
+
+use rand::Rng;
+
+/// Generates a monotone sequence of arrival instants over `[0, duration)`.
+pub trait ArrivalProcess {
+    /// All arrival timestamps in `[0, duration)` seconds, ascending.
+    fn generate<R: Rng + ?Sized>(&self, duration: f64, rng: &mut R) -> Vec<f64>;
+
+    /// Expected number of arrivals over `[0, duration)`.
+    fn expected_count(&self, duration: f64) -> f64;
+}
+
+/// Homogeneous Poisson process at `rate` requests/second (exponential
+/// inter-arrivals) — the arrival model behind Figs. 8–10.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    /// Arrival rate, req/s.
+    pub rate: f64,
+}
+
+impl Poisson {
+    /// A Poisson process at `rate` req/s (must be non-negative).
+    pub fn new(rate: f64) -> Self {
+        assert!(rate >= 0.0 && rate.is_finite());
+        Poisson { rate }
+    }
+
+    fn exp_sample<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> f64 {
+        // Inverse CDF; guard against ln(0).
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        -u.ln() / rate
+    }
+}
+
+impl ArrivalProcess for Poisson {
+    fn generate<R: Rng + ?Sized>(&self, duration: f64, rng: &mut R) -> Vec<f64> {
+        let mut out = Vec::new();
+        if self.rate <= 0.0 {
+            return out;
+        }
+        let mut t = Self::exp_sample(self.rate, rng);
+        while t < duration {
+            out.push(t);
+            t += Self::exp_sample(self.rate, rng);
+        }
+        out
+    }
+
+    fn expected_count(&self, duration: f64) -> f64 {
+        self.rate * duration
+    }
+}
+
+/// Piecewise-constant rate process — the Fig. 14 pattern
+/// (`rps: 5 → 0 → 2.5 → 0`) is one of these.
+#[derive(Debug, Clone)]
+pub struct PiecewiseRate {
+    /// (segment duration seconds, rate req/s) pairs, in order.
+    pub segments: Vec<(f64, f64)>,
+}
+
+impl PiecewiseRate {
+    /// Builds from `(duration, rate)` segments.
+    pub fn new(segments: Vec<(f64, f64)>) -> Self {
+        assert!(!segments.is_empty());
+        assert!(segments.iter().all(|&(d, r)| d > 0.0 && r >= 0.0));
+        PiecewiseRate { segments }
+    }
+
+    /// The Fig. 14 pattern: rate 5 for the first quarter, 0 for the second,
+    /// 2.5 for the third, 0 for the last, over `total` seconds.
+    pub fn fig14_pattern(total: f64) -> Self {
+        let q = total / 4.0;
+        PiecewiseRate::new(vec![(q, 5.0), (q, 0.0), (q, 2.5), (q, 0.0)])
+    }
+
+    /// Total duration covered by the segments.
+    pub fn total_duration(&self) -> f64 {
+        self.segments.iter().map(|&(d, _)| d).sum()
+    }
+
+    /// Rate in effect at absolute time `t` (0 past the last segment).
+    pub fn rate_at(&self, t: f64) -> f64 {
+        let mut acc = 0.0;
+        for &(d, r) in &self.segments {
+            acc += d;
+            if t < acc {
+                return r;
+            }
+        }
+        0.0
+    }
+}
+
+impl ArrivalProcess for PiecewiseRate {
+    fn generate<R: Rng + ?Sized>(&self, duration: f64, rng: &mut R) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut seg_start = 0.0;
+        for &(seg_dur, rate) in &self.segments {
+            let seg_end = (seg_start + seg_dur).min(duration);
+            if rate > 0.0 {
+                let mut t = seg_start + Poisson::exp_sample(rate, rng);
+                while t < seg_end {
+                    out.push(t);
+                    t += Poisson::exp_sample(rate, rng);
+                }
+            }
+            seg_start += seg_dur;
+            if seg_start >= duration {
+                break;
+            }
+        }
+        out
+    }
+
+    fn expected_count(&self, duration: f64) -> f64 {
+        let mut acc = 0.0;
+        let mut start = 0.0;
+        for &(d, r) in &self.segments {
+            let end = (start + d).min(duration);
+            if end > start {
+                acc += (end - start) * r;
+            }
+            start += d;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_count_near_expectation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = Poisson::new(10.0);
+        let arrivals = p.generate(1000.0, &mut rng);
+        let n = arrivals.len() as f64;
+        // 10k expected, std-dev 100 → 5 sigma window.
+        assert!((n - 10_000.0).abs() < 500.0, "n = {n}");
+    }
+
+    #[test]
+    fn poisson_sorted_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let arr = Poisson::new(50.0).generate(10.0, &mut rng);
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arr.iter().all(|&t| (0.0..10.0).contains(&t)));
+    }
+
+    #[test]
+    fn zero_rate_is_silent() {
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(Poisson::new(0.0).generate(100.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn piecewise_respects_quiet_segments() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let pw = PiecewiseRate::fig14_pattern(100.0);
+        let arr = pw.generate(100.0, &mut rng);
+        // No arrivals inside the silent quarters [25,50) and [75,100).
+        assert!(arr
+            .iter()
+            .all(|&t| !(25.0..50.0).contains(&t) && !(75.0..100.0).contains(&t)));
+        // Busy quarters produce roughly 125 + 62.5 arrivals.
+        let expect = pw.expected_count(100.0);
+        assert!((expect - (125.0 + 62.5)).abs() < 1e-9);
+        assert!(((arr.len() as f64) - expect).abs() < 60.0, "{}", arr.len());
+    }
+
+    #[test]
+    fn rate_at_lookup() {
+        let pw = PiecewiseRate::fig14_pattern(100.0);
+        assert_eq!(pw.rate_at(10.0), 5.0);
+        assert_eq!(pw.rate_at(30.0), 0.0);
+        assert_eq!(pw.rate_at(60.0), 2.5);
+        assert_eq!(pw.rate_at(90.0), 0.0);
+        assert_eq!(pw.rate_at(500.0), 0.0);
+        assert_eq!(pw.total_duration(), 100.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = Poisson::new(5.0);
+        let a = p.generate(50.0, &mut StdRng::seed_from_u64(42));
+        let b = p.generate(50.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,179 @@
+//! Length distributions standing in for the paper's three datasets.
+//!
+//! Parameters are matched to published token-length statistics:
+//!
+//! * **ShareGPT** (chatbot): the vLLM paper reports mean input ≈ 161 and
+//!   mean output ≈ 338 tokens for its ShareGPT sample; serving papers that
+//!   filter longer conversations see means of 300–500. We use medians
+//!   in/out = 220/240 with heavy tails clipped at 2048/1024.
+//! * **HumanEval** (code completion): prompts are short function
+//!   signatures+docstrings (mean ≈ 150 tokens); completions are small
+//!   function bodies (≈ 60–250 tokens).
+//! * **LongBench** (summarization): inputs are article-length — we use
+//!   median 1800 tokens clipped to 0.5k–6k, outputs short summaries
+//!   (median 200). Note: raw LongBench articles run much longer, but the
+//!   paper's evaluation rates (e.g. 3–9 req/s on Llama-13B over this
+//!   12-GPU cluster) are only *feasible* if its serving sample averages
+//!   ~2k input tokens — raw 6k+ prompts would exceed the entire cluster's
+//!   prefill FLOPs at those rates — so the truncated/filtered variant is
+//!   what we match (see EXPERIMENTS.md).
+//!
+//! What the experiments depend on is the *contrast* the paper calls out:
+//! SG = balanced, HE = decode-heavy with short prompts (most decoded
+//! tokens → Fig. 13's biggest MLP win), LB = prefill/memory-heavy with
+//! few output tokens.
+
+use crate::dist::{Distribution, TruncatedLogNormal};
+use rand::Rng;
+
+/// Which dataset a workload emulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// ShareGPT — chatbot traffic.
+    ShareGpt,
+    /// HumanEval — code completion.
+    HumanEval,
+    /// LongBench — long-article summarization.
+    LongBench,
+}
+
+impl DatasetKind {
+    /// All three, in the paper's presentation order.
+    pub const ALL: [DatasetKind; 3] = [
+        DatasetKind::ShareGpt,
+        DatasetKind::HumanEval,
+        DatasetKind::LongBench,
+    ];
+
+    /// The paper's two-letter abbreviation (SG/HE/LB).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            DatasetKind::ShareGpt => "SG",
+            DatasetKind::HumanEval => "HE",
+            DatasetKind::LongBench => "LB",
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DatasetKind::ShareGpt => "ShareGPT",
+            DatasetKind::HumanEval => "HumanEval",
+            DatasetKind::LongBench => "LongBench",
+        })
+    }
+}
+
+/// Joint sampler of (input_len, output_len) for a dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct Dataset {
+    kind: DatasetKind,
+    input: TruncatedLogNormal,
+    output: TruncatedLogNormal,
+}
+
+impl Dataset {
+    /// The sampler for a dataset kind.
+    pub fn of(kind: DatasetKind) -> Dataset {
+        let (input, output) = match kind {
+            DatasetKind::ShareGpt => (
+                TruncatedLogNormal::new(220.0, 0.9, 4.0, 2048.0),
+                TruncatedLogNormal::new(240.0, 0.8, 4.0, 1024.0),
+            ),
+            DatasetKind::HumanEval => (
+                TruncatedLogNormal::new(140.0, 0.5, 16.0, 1024.0),
+                TruncatedLogNormal::new(130.0, 0.7, 8.0, 768.0),
+            ),
+            DatasetKind::LongBench => (
+                TruncatedLogNormal::new(1800.0, 0.5, 500.0, 6000.0),
+                TruncatedLogNormal::new(200.0, 0.6, 16.0, 768.0),
+            ),
+        };
+        Dataset {
+            kind,
+            input,
+            output,
+        }
+    }
+
+    /// The dataset kind.
+    pub fn kind(&self) -> DatasetKind {
+        self.kind
+    }
+
+    /// Draws one (input_len, output_len) pair in tokens.
+    pub fn sample_lengths<R: Rng + ?Sized>(&self, rng: &mut R) -> (u32, u32) {
+        let input = self.input.sample(rng).round().max(1.0) as u32;
+        let output = self.output.sample(rng).round().max(1.0) as u32;
+        (input, output)
+    }
+
+    /// Planning means (input, output).
+    pub fn mean_lengths(&self) -> (f64, f64) {
+        (self.input.mean(), self.output.mean())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_means(kind: DatasetKind, n: usize) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = Dataset::of(kind);
+        let mut si = 0.0;
+        let mut so = 0.0;
+        for _ in 0..n {
+            let (i, o) = d.sample_lengths(&mut rng);
+            si += i as f64;
+            so += o as f64;
+        }
+        (si / n as f64, so / n as f64)
+    }
+
+    #[test]
+    fn longbench_inputs_dominate() {
+        let (lb_in, lb_out) = sample_means(DatasetKind::LongBench, 5000);
+        assert!(lb_in > 1500.0, "LB mean input {lb_in}");
+        assert!(lb_out < 400.0, "LB mean output {lb_out}");
+        assert!(lb_in / lb_out > 5.0);
+    }
+
+    #[test]
+    fn humaneval_is_short_prompt() {
+        let (he_in, _) = sample_means(DatasetKind::HumanEval, 5000);
+        let (sg_in, _) = sample_means(DatasetKind::ShareGpt, 5000);
+        assert!(he_in < sg_in, "HE {he_in} vs SG {sg_in}");
+        assert!(he_in < 300.0);
+    }
+
+    #[test]
+    fn sharegpt_balanced() {
+        let (i, o) = sample_means(DatasetKind::ShareGpt, 5000);
+        let ratio = i / o;
+        assert!((0.5..2.5).contains(&ratio), "SG in/out ratio {ratio}");
+    }
+
+    #[test]
+    fn lengths_at_least_one() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for kind in DatasetKind::ALL {
+            let d = Dataset::of(kind);
+            for _ in 0..2000 {
+                let (i, o) = d.sample_lengths(&mut rng);
+                assert!(i >= 1 && o >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn abbreviations() {
+        assert_eq!(DatasetKind::ShareGpt.abbrev(), "SG");
+        assert_eq!(DatasetKind::HumanEval.abbrev(), "HE");
+        assert_eq!(DatasetKind::LongBench.abbrev(), "LB");
+        assert_eq!(DatasetKind::LongBench.to_string(), "LongBench");
+    }
+}

@@ -1,0 +1,25 @@
+//! Synthetic LLM serving workloads and arrival processes.
+//!
+//! The paper evaluates with three real datasets — ShareGPT (chatbot),
+//! HumanEval (code completion), LongBench (long-article summarization) —
+//! under Poisson and piecewise-varying arrival rates. Those datasets only
+//! enter the experiments as *(input length, output length)* pairs, so this
+//! crate replaces them with seeded samplers matched to each dataset's
+//! published length statistics (see [`datasets`] for the exact parameters
+//! and their provenance).
+//!
+//! Everything is deterministic given a seed: the same `(dataset, rate,
+//! seed, duration)` tuple always yields the same trace, which keeps every
+//! figure harness reproducible.
+
+pub mod arrivals;
+pub mod datasets;
+pub mod dist;
+pub mod request;
+pub mod trace;
+
+pub use arrivals::{ArrivalProcess, PiecewiseRate, Poisson};
+pub use datasets::{Dataset, DatasetKind};
+pub use dist::{Distribution, LogNormal, TruncatedLogNormal, Uniform};
+pub use request::{Request, RequestId};
+pub use trace::{Trace, TraceBuilder};

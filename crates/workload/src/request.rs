@@ -1,0 +1,65 @@
+//! The unit of work: one inference request.
+
+/// Cluster-unique request identifier, assigned in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// One inference request as the serving system sees it.
+///
+/// `output_len` is the *ground-truth* generation length (how many tokens
+/// the request will produce before EOS). The serving system does not get to
+/// peek at it for scheduling — the paper stresses that output lengths are
+/// unknowable in advance (§2.1) — it is only used by the simulator to know
+/// when the request terminates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Unique id.
+    pub id: RequestId,
+    /// Arrival time, seconds since trace start.
+    pub arrival: f64,
+    /// Prompt length in tokens.
+    pub input_len: u32,
+    /// Ground-truth number of generated tokens (≥ 1; the first is produced
+    /// by the prefill iteration).
+    pub output_len: u32,
+}
+
+impl Request {
+    /// Context length after `generated` tokens have been produced:
+    /// prompt + generated.
+    #[inline]
+    pub fn context_len(&self, generated: u32) -> u32 {
+        self.input_len + generated
+    }
+
+    /// Final context length at completion.
+    #[inline]
+    pub fn final_context_len(&self) -> u32 {
+        self.input_len + self.output_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_arithmetic() {
+        let r = Request {
+            id: RequestId(1),
+            arrival: 0.5,
+            input_len: 100,
+            output_len: 20,
+        };
+        assert_eq!(r.context_len(0), 100);
+        assert_eq!(r.context_len(5), 105);
+        assert_eq!(r.final_context_len(), 120);
+        assert_eq!(r.id.to_string(), "req1");
+    }
+}

@@ -1,0 +1,67 @@
+//! Chatbot serving: compare Hetis against Splitwise and HexGen on the
+//! same ShareGPT trace, reproducing the paper's headline comparison in
+//! miniature.
+//!
+//! ```bash
+//! cargo run --release --example chatbot_serving
+//! ```
+
+use hetis::baselines::{HexgenPolicy, SplitwisePolicy};
+use hetis::cluster::cluster::paper_cluster;
+use hetis::core::{HetisConfig, HetisPolicy, WorkloadProfile};
+use hetis::engine::{run, EngineConfig, RunReport};
+use hetis::model::llama_70b;
+use hetis::workload::{DatasetKind, Poisson, TraceBuilder};
+
+fn row(report: &RunReport, issued: usize) {
+    println!(
+        "{:<10} {:>10.4} {:>10.3} {:>10.4} {:>8}/{issued} {:>8.0} GB",
+        report.policy,
+        report.mean_normalized_latency(),
+        report.p95_ttft(),
+        report.p95_tpot(),
+        report.completed.len(),
+        report.total_kv_pool_bytes as f64 / 1e9,
+    );
+}
+
+fn main() {
+    let cluster = paper_cluster();
+    let model = llama_70b();
+    let rate = 2.0;
+    let trace = TraceBuilder::new(DatasetKind::ShareGpt, 99).build(&Poisson::new(rate), 60.0);
+    println!(
+        "Llama-70B, ShareGPT at {rate} req/s, {} requests\n",
+        trace.len()
+    );
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "system", "norm s/tok", "p95 TTFT", "p95 TPOT", "completed", "cache"
+    );
+
+    let cfg = EngineConfig::default();
+    let sw = run(SplitwisePolicy::new(), &cluster, &model, cfg.clone(), &trace);
+    row(&sw, trace.len());
+    let hx = run(HexgenPolicy::new(), &cluster, &model, cfg.clone(), &trace);
+    row(&hx, trace.len());
+    let profile = WorkloadProfile::from_dataset(DatasetKind::ShareGpt, 128);
+    let ht = run(
+        HetisPolicy::new(HetisConfig::default(), profile),
+        &cluster,
+        &model,
+        cfg,
+        &trace,
+    );
+    row(&ht, trace.len());
+
+    println!(
+        "\nHetis vs Splitwise: {:.2}x normalized latency, {:.2}x P95 TTFT",
+        sw.mean_normalized_latency() / ht.mean_normalized_latency(),
+        sw.p95_ttft() / ht.p95_ttft()
+    );
+    println!(
+        "Hetis vs HexGen:    {:.2}x normalized latency, {:.2}x P95 TTFT",
+        hx.mean_normalized_latency() / ht.mean_normalized_latency(),
+        hx.p95_ttft() / ht.p95_ttft()
+    );
+}

@@ -1,0 +1,77 @@
+//! Cluster planner: run the Parallelizer standalone as a what-if tool —
+//! given a GPU fleet and a model, print the searched topology, role
+//! assignments and per-device memory budget.
+//!
+//! ```bash
+//! cargo run --release --example cluster_planner
+//! ```
+
+use hetis::cluster::cluster::ClusterBuilder;
+use hetis::cluster::GpuType;
+use hetis::core::{search_topology, HetisConfig, WorkloadProfile};
+use hetis::model::{llama_70b, opt_30b};
+use hetis::parallel::{device_weight_bytes, InstanceConfig, ParallelConfig};
+use hetis::workload::DatasetKind;
+
+fn plan(label: &str, cluster: &hetis::cluster::Cluster, model: &hetis::model::ModelSpec) {
+    println!("\n=== {label}: {} on {} GPUs ===", model.name, cluster.len());
+    let profile = WorkloadProfile::for_cluster(DatasetKind::ShareGpt, cluster, model, 0.3);
+    let out = search_topology(cluster, model, &profile, &HetisConfig::default());
+    println!(
+        "search: {} configs evaluated in {:.0} ms; estimated cost {:.3}",
+        out.evaluated,
+        out.wall_seconds * 1e3,
+        out.cost
+    );
+    for (k, inst) in out.topology.instances.iter().enumerate() {
+        for (s, st) in inst.stages.iter().enumerate() {
+            let gpu = cluster.spec(st.primary.devices[0]).gpu;
+            println!(
+                "  instance {k} stage {s}: {}x{} primaries, {} layers, {} shared attention workers",
+                st.primary.tp(),
+                gpu,
+                st.primary.layers,
+                st.attention_workers.len()
+            );
+        }
+    }
+    // Memory budget.
+    let pcfg = ParallelConfig {
+        instances: out
+            .topology
+            .instances
+            .iter()
+            .map(|i| InstanceConfig {
+                stages: i.stages.iter().map(|s| s.primary.clone()).collect(),
+            })
+            .collect(),
+    };
+    let weights = device_weight_bytes(&pcfg, model);
+    let mut total_w = 0u64;
+    for d in cluster.devices() {
+        if let Some(&w) = weights.get(&d.id) {
+            total_w += w;
+        }
+    }
+    println!(
+        "  weights: {:.0} GB placed; attention workers: {:?}",
+        total_w as f64 / 1e9,
+        out.attention_workers
+    );
+}
+
+fn main() {
+    // The paper's testbed.
+    let paper = hetis::cluster::cluster::paper_cluster();
+    plan("paper cluster", &paper, &llama_70b());
+    plan("paper cluster", &paper, &opt_30b());
+
+    // A what-if fleet: two 8-GPU A100 boxes plus a rack of P100s.
+    let fleet = ClusterBuilder::new()
+        .host(&[GpuType::A100; 4])
+        .host(&[GpuType::A100; 4])
+        .host(&[GpuType::P100; 4])
+        .host(&[GpuType::P100; 4])
+        .build();
+    plan("A100+P100 fleet", &fleet, &llama_70b());
+}

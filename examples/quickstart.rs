@@ -1,0 +1,64 @@
+//! Quickstart: serve a chatbot workload with Hetis on the paper's
+//! heterogeneous cluster and print the headline metrics.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use hetis::cluster::cluster::paper_cluster;
+use hetis::core::{HetisConfig, HetisPolicy, WorkloadProfile};
+use hetis::engine::{run, EngineConfig};
+use hetis::model::llama_13b;
+use hetis::workload::{DatasetKind, Poisson, TraceBuilder};
+
+fn main() {
+    // 1. The cluster: 4×A100-80GB, 4×RTX-3090, 4×P100 across four hosts,
+    //    100 Gbps LAN between hosts, PCIe within (§7.1).
+    let cluster = paper_cluster();
+    println!(
+        "cluster: {} GPUs on {} hosts, {:.0} GB total memory",
+        cluster.len(),
+        cluster.num_hosts(),
+        cluster.total_memory() as f64 / 1e9
+    );
+
+    // 2. The model and workload: Llama-13B serving ShareGPT-like chatbot
+    //    traffic at 6 requests/second for one minute.
+    let model = llama_13b();
+    let trace = TraceBuilder::new(DatasetKind::ShareGpt, 7).build(&Poisson::new(6.0), 60.0);
+    println!(
+        "workload: {} requests, {} prompt tokens, {} output tokens",
+        trace.len(),
+        trace.total_input_tokens(),
+        trace.total_output_tokens()
+    );
+
+    // 3. Hetis: the Parallelizer searches the primary-worker topology, the
+    //    Profiler fits its attention/transfer models, and the Dispatcher
+    //    places every request's attention heads via the Eq. 7 LP.
+    let profile = WorkloadProfile::from_dataset(DatasetKind::ShareGpt, 128);
+    let policy = HetisPolicy::new(HetisConfig::default(), profile);
+    let report = run(policy, &cluster, &model, EngineConfig::default(), &trace);
+
+    // 4. Results.
+    println!("\n== {} ==", report.policy);
+    println!(
+        "completed           {}/{}",
+        report.completed.len(),
+        report.completed.len() + report.unfinished
+    );
+    println!(
+        "normalized latency  {:.4} s/token (mean)",
+        report.mean_normalized_latency()
+    );
+    println!("P95 TTFT            {:.3} s", report.p95_ttft());
+    println!("P95 TPOT            {:.4} s", report.p95_tpot());
+    println!(
+        "KV cache pool       {:.0} GB across primaries + attention workers",
+        report.total_kv_pool_bytes as f64 / 1e9
+    );
+    println!(
+        "dynamic parallelism {} cache migrations, {} preemptions",
+        report.migrations, report.preemptions
+    );
+}

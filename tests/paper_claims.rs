@@ -1,0 +1,106 @@
+//! Integration tests pinning specific numerical claims of the paper to
+//! their reproduced counterparts (tolerances documented per test; see
+//! EXPERIMENTS.md for the full paper-vs-measured table).
+
+use hetis::cluster::cluster::paper_cluster;
+use hetis::cluster::{AlphaBeta, DeviceSpec, GpuType, LinkKind};
+use hetis::core::split::{headwise_overhead, seqwise_overhead};
+use hetis::core::{search_topology, HetisConfig, Profiler, WorkloadProfile};
+use hetis::model::llama_70b;
+use hetis::workload::DatasetKind;
+
+#[test]
+fn o1_dense_gap_dwarfs_attention_gap() {
+    // §2.4 O1/O2: the premise of the whole design.
+    let a = DeviceSpec::of(GpuType::A100);
+    let p = DeviceSpec::of(GpuType::P100);
+    let dense_gap = a.dense_flops / p.dense_flops;
+    let attn_gap = a.attn_bw / p.attn_bw;
+    assert!(dense_gap > 20.0, "dense gap {dense_gap}");
+    assert!(attn_gap < 5.0, "attention gap {attn_gap}");
+}
+
+#[test]
+fn fig5_headwise_advantage_bands() {
+    // Fig. 5a: ~2.68x at 20% offload / 1 worker; Fig. 5b: ~3.55x at 4
+    // workers. We assert the paper's qualitative bands.
+    let m = llama_70b();
+    let lan = AlphaBeta::of(LinkKind::InterHost);
+    let a20 = seqwise_overhead(&m, lan, 128, 0.2, 1) / headwise_overhead(&m, lan, 128, 0.2, 1);
+    assert!((2.0..5.5).contains(&a20), "fig5a advantage {a20}");
+    let b4 = seqwise_overhead(&m, lan, 128, 1.0, 4) / headwise_overhead(&m, lan, 128, 1.0, 4);
+    assert!((2.5..4.5).contains(&b4), "fig5b advantage {b4}");
+}
+
+#[test]
+fn section7_4_profiling_accuracy_bands() {
+    // §7.4: computation accuracy up to 93.8%, transfer 92.4–96.1% —
+    // evaluated against noisy held-out measurements as the paper does.
+    let cluster = paper_cluster();
+    let profiler = Profiler::profile(&cluster, 8, 0.08, 2025);
+    for acc in profiler.attn_accuracy_measured(&cluster, 6, 0.08, 31) {
+        assert!(acc > 0.90, "attention accuracy {acc}");
+    }
+    for acc in profiler.link_accuracy_measured(&cluster, 8, 0.08, 37) {
+        assert!(acc > 0.90, "transfer accuracy {acc}");
+    }
+}
+
+#[test]
+fn section7_4_search_completes_fast_at_scale() {
+    // §7.4: 15 s at 5 types × 32 GPUs on the authors' machine (their
+    // search executes real kernels); ours is analytic and must stay well
+    // under that even in debug-adjacent environments.
+    let cluster = hetis::cluster::cluster::large_synthetic(5, 32);
+    let model = llama_70b();
+    let profile = WorkloadProfile::for_cluster(DatasetKind::ShareGpt, &cluster, &model, 0.3);
+    let out = search_topology(&cluster, &model, &profile, &HetisConfig::default());
+    assert!(out.wall_seconds < 15.0, "search took {}s", out.wall_seconds);
+    assert!(!out.topology.instances.is_empty());
+}
+
+#[test]
+fn parallelizer_reproduces_paper_role_assignment() {
+    // §7.2: "A100 and 3090 GPUs serve as Primary Workers, while P100s
+    // are dedicated to Attention Worker roles" (Llama-70B).
+    let cluster = paper_cluster();
+    let model = llama_70b();
+    let profile = WorkloadProfile::for_cluster(DatasetKind::ShareGpt, &cluster, &model, 0.3);
+    let out = search_topology(&cluster, &model, &profile, &HetisConfig::default());
+    let p100s = cluster.devices_of_type(GpuType::P100);
+    for p in &p100s {
+        assert!(out.attention_workers.contains(p), "{p} must be a worker");
+    }
+    let primaries: Vec<_> = out
+        .topology
+        .instances
+        .iter()
+        .flat_map(|i| i.stages.iter().flat_map(|s| s.primary.devices.clone()))
+        .collect();
+    for a in cluster.devices_of_type(GpuType::A100) {
+        assert!(primaries.contains(&a), "every A100 is a primary");
+    }
+}
+
+#[test]
+fn gqa_support_is_head_group_integral() {
+    // §5.1 / Eq. 5: dispatch counts must be multiples of r = 8 for
+    // Llama-70B. Exercised end to end through a short serve.
+    use hetis::core::HetisPolicy;
+    use hetis::engine::{run, EngineConfig};
+    use hetis::workload::{Poisson, TraceBuilder};
+    let cluster = paper_cluster();
+    let model = llama_70b();
+    let trace = TraceBuilder::new(DatasetKind::ShareGpt, 55).build(&Poisson::new(1.0), 10.0);
+    let profile = WorkloadProfile::for_cluster(DatasetKind::ShareGpt, &cluster, &model, 0.3);
+    let report = run(
+        HetisPolicy::new(HetisConfig::default(), profile),
+        &cluster,
+        &model,
+        EngineConfig::default(),
+        &trace,
+    );
+    // If any placement had violated group integrity, the engine's
+    // validation would have rejected it (alloc fails → nothing completes).
+    assert_eq!(report.completion_rate(), 1.0);
+}
