@@ -34,7 +34,7 @@ pub fn fit_layers(
                 .iter()
                 .map(|&d| {
                     let ledger = MemoryLedger::new(cluster.spec(d).mem_bytes);
-                    ledger.kv_pool() + 0 // weights must fit inside total - reserve
+                    ledger.kv_pool() // weights must fit inside total - reserve
                 })
                 .sum();
             let mut budget = pool;
@@ -73,7 +73,9 @@ pub fn fit_layers(
 pub fn best_tp(n: usize, model: &ModelSpec) -> usize {
     [8usize, 4, 2, 1]
         .into_iter()
-        .find(|&tp| tp <= n && model.num_heads % tp as u32 == 0 && tp as u32 <= model.num_kv_heads)
+        .find(|&tp| {
+            tp <= n && model.num_heads.is_multiple_of(tp as u32) && tp as u32 <= model.num_kv_heads
+        })
         .unwrap_or(1)
 }
 
@@ -105,10 +107,12 @@ mod tests {
         // 3090s are ~11x faster than P100s, but 4x3090 can hold at most
         // ~51 of 80 layers; the split must be memory-shifted.
         let layers = fit_layers(&c, &m, &[r3090.clone(), p100.clone()]);
-        assert!(layers.is_none() || {
-            let l = layers.unwrap();
-            l.iter().sum::<u32>() == 80
-        });
+        assert!(
+            layers.is_none() || {
+                let l = layers.unwrap();
+                l.iter().sum::<u32>() == 80
+            }
+        );
         // A single P100 can never hold Llama-70B.
         assert!(fit_layers(&c, &m, &[vec![p100[0]]]).is_none());
     }

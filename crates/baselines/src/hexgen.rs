@@ -13,11 +13,11 @@
 //! than from a strawman.
 
 use hetis_cluster::{Cluster, DeviceId};
+use hetis_engine::policy::StaticPolicy;
 use hetis_engine::{
     EngineConfig, HeadPlacement, InstanceRole, InstanceTopo, Policy, PolicyCtx, StageTopo,
     Topology, VictimAction,
 };
-use hetis_engine::policy::StaticPolicy;
 use hetis_model::ModelSpec;
 use hetis_parallel::{
     balance_layers, dp_groupings, kv_pool_bytes, tp_pp_shapes, CostModel, DecodeBatch,
@@ -110,7 +110,7 @@ impl HexgenPolicy {
                 let n_stages = chain.len() as u32;
                 let tp_ok = chain.iter().all(|g| {
                     let tp = g.len() as u32;
-                    model.num_heads % tp == 0 && tp <= model.num_kv_heads
+                    model.num_heads.is_multiple_of(tp) && tp <= model.num_kv_heads
                 });
                 if tp_ok && n_stages >= 1 && model.num_layers >= n_stages {
                     let speeds: Vec<f64> = chain
@@ -318,7 +318,12 @@ mod tests {
         let n = trace.len();
         let report = run(HexgenPolicy::new(), &c, &m, EngineConfig::default(), &trace);
         assert_eq!(report.policy, "hexgen");
-        assert_eq!(report.completed.len(), n, "unfinished {}", report.unfinished);
+        assert_eq!(
+            report.completed.len(),
+            n,
+            "unfinished {}",
+            report.unfinished
+        );
         // No dynamic parallelism → no migrations.
         assert_eq!(report.migrations, 0);
     }

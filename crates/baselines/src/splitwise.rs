@@ -16,11 +16,11 @@
 
 use crate::common::{best_tp, fit_layers};
 use hetis_cluster::{Cluster, DeviceId};
-use hetis_engine::{
-    EngineConfig, Handoff, HeadPlacement, InstanceRole, InstanceTopo, Policy, PolicyCtx,
-    StageTopo, Topology, VictimAction,
-};
 use hetis_engine::policy::StaticPolicy;
+use hetis_engine::{
+    EngineConfig, Handoff, HeadPlacement, InstanceRole, InstanceTopo, Policy, PolicyCtx, StageTopo,
+    Topology, VictimAction,
+};
 use hetis_model::ModelSpec;
 use hetis_parallel::StageConfig;
 use hetis_workload::{Request, RequestId};
@@ -172,6 +172,14 @@ impl Policy for SplitwisePolicy {
             .filter(|(_, i)| i.role == InstanceRole::DecodeOnly)
             .map(|(k, _)| k)
             .collect();
+        if decoders.is_empty() {
+            // Cluster churn took the whole decode pool. The request stays
+            // on the prefill instance, which never forms decode batches —
+            // it parks holding its KV and counts as unfinished unless the
+            // pool revives. Splitwise has no fallback here; that stall is
+            // the baseline's churn behavior.
+            return None;
+        }
         let target = decoders[self.rr_decode % decoders.len()];
         self.rr_decode += 1;
         Some(Handoff {
@@ -236,10 +244,12 @@ mod tests {
         let m = llama_70b();
         let t = SplitwisePolicy::build_topology(&c, &m);
         let decode = &t.instances[1];
-        let has_a100 = decode
-            .stages
-            .iter()
-            .any(|s| s.primary.devices.iter().any(|&d| c.spec(d).gpu == GpuType::A100));
+        let has_a100 = decode.stages.iter().any(|s| {
+            s.primary
+                .devices
+                .iter()
+                .any(|&d| c.spec(d).gpu == GpuType::A100)
+        });
         assert!(has_a100);
         let total: u32 = decode.stages.iter().map(|s| s.primary.layers).sum();
         assert_eq!(total, 80);
@@ -259,7 +269,12 @@ mod tests {
             &trace,
         );
         assert_eq!(report.policy, "splitwise");
-        assert_eq!(report.completed.len(), n, "unfinished {}", report.unfinished);
+        assert_eq!(
+            report.completed.len(),
+            n,
+            "unfinished {}",
+            report.unfinished
+        );
         // Every request migrates prefill→decode.
         assert!(report.migrations as usize >= n);
         assert!(report.migrated_bytes > 0.0);

@@ -4,7 +4,8 @@
 //! * the Eq. 7 LP (Hetis),
 //! * proportional-to-speed greedy placement,
 //! * static even split across all devices,
-//! by the ground-truth attention phase time each placement yields.
+//!
+//! scored by the ground-truth attention phase time each placement yields.
 
 use hetis_cluster::cluster::paper_cluster;
 use hetis_cluster::{attn_decode_time, AttnWork, GpuType};
@@ -25,13 +26,22 @@ fn main() {
     });
     stage.attention_workers = cluster.devices_of_type(GpuType::P100);
     let devices = stage.attention_devices();
-    let dispatcher = Dispatcher::new(Profiler::profile(&cluster, 8, 0.0, 9), HetisConfig::default());
+    let dispatcher = Dispatcher::new(
+        Profiler::profile(&cluster, 8, 0.0, 9),
+        HetisConfig::default(),
+    );
 
     // Background load on the primaries so the decision is non-trivial.
     for (k, &dev) in stage.primary.devices.iter().enumerate() {
         for q in 0..30u64 {
             kv.device_mut(dev)
-                .allocate(hetis_workload::RequestId(900 + k as u64 * 50 + q), 0, 8, 2500, 80)
+                .allocate(
+                    hetis_workload::RequestId(900 + k as u64 * 50 + q),
+                    0,
+                    8,
+                    2500,
+                    80,
+                )
                 .unwrap();
         }
     }
@@ -45,10 +55,7 @@ fn main() {
         .unwrap()
         .heads[0]
         .clone();
-    let speeds: Vec<f64> = devices
-        .iter()
-        .map(|&d| cluster.spec(d).attn_bw)
-        .collect();
+    let speeds: Vec<f64> = devices.iter().map(|&d| cluster.spec(d).attn_bw).collect();
     let speed_sum: f64 = speeds.iter().sum();
     let prop: Vec<u32> = {
         let frac: Vec<f64> = speeds.iter().map(|s| 64.0 * s / speed_sum).collect();

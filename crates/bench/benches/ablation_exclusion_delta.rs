@@ -17,14 +17,18 @@ fn main() {
     let model = llama_70b();
     let dataset = DatasetKind::ShareGpt;
     let trace = bench_trace(dataset, 2.0, scale.horizon());
-    let mut ecfg = EngineConfig::default();
-    ecfg.drain_timeout = 240.0;
+    let ecfg = EngineConfig {
+        drain_timeout: 240.0,
+        ..EngineConfig::default()
+    };
 
     println!("# A2: exclusion threshold sweep (Llama-70B, ShareGPT rate 2)");
     println!("delta\tattention_workers\tnorm_latency\tp95_ttft\tcompleted");
     for &delta in &[0.0, 0.02, 0.05, 0.15, 0.5] {
-        let mut cfg = HetisConfig::default();
-        cfg.delta = delta;
+        let cfg = HetisConfig {
+            delta,
+            ..HetisConfig::default()
+        };
         let profile = WorkloadProfile::from_dataset(dataset, 128);
         let search = search_topology(&cluster, &model, &profile, &cfg);
         let workers = search.attention_workers.len();

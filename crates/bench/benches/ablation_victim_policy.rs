@@ -35,8 +35,10 @@ fn main() {
         Scale::Full => 120.0,
     };
     let trace = TraceBuilder::new(DatasetKind::ShareGpt, 177).build(&Poisson::new(10.0), horizon);
-    let mut cfg = EngineConfig::default();
-    cfg.drain_timeout = 300.0;
+    let cfg = EngineConfig {
+        drain_timeout: 300.0,
+        ..EngineConfig::default()
+    };
 
     println!("# A4: victim policy comparison (ShareGPT rate 10, tight memory)");
     println!("victim_policy\tmean_norm\tp95_norm\tpreemptions\tmigrations\tcompleted");

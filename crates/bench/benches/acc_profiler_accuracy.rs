@@ -24,7 +24,13 @@ fn main() {
     println!("# Modeling accuracy per device (paper: comp up to 93.8%, transfer 92.4-96.1%)");
     println!("device\tgpu\tattention_acc_pct\ttransfer_acc_pct");
     for (d, (a, l)) in cluster.devices().iter().zip(attn.iter().zip(&link)) {
-        println!("{}\t{}\t{:.1}\t{:.1}", d.id, d.spec.gpu, a * 100.0, l * 100.0);
+        println!(
+            "{}\t{}\t{:.1}\t{:.1}",
+            d.id,
+            d.spec.gpu,
+            a * 100.0,
+            l * 100.0
+        );
     }
     let mean_a = attn.iter().sum::<f64>() / attn.len() as f64;
     let mean_l = link.iter().sum::<f64>() / link.len() as f64;

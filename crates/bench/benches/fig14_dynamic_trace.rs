@@ -6,11 +6,11 @@
 //! late (Hetis avoids premature network distribution under light load);
 //! caches fill at the peak and drain in the quiet phases.
 
+use hetis_bench::Scale;
 use hetis_cluster::cluster::paper_cluster;
 use hetis_cluster::GpuType;
 use hetis_core::{HetisConfig, HetisPolicy, WorkloadProfile};
 use hetis_engine::{run, EngineConfig, InstanceRole, InstanceTopo, StageTopo, Topology};
-use hetis_bench::Scale;
 use hetis_model::llama_13b;
 use hetis_parallel::StageConfig;
 use hetis_workload::{DatasetKind, PiecewiseRate, TraceBuilder};
@@ -43,8 +43,10 @@ fn main() {
 
     let profile = WorkloadProfile::from_dataset(DatasetKind::ShareGpt, 48);
     let policy = HetisPolicy::new(HetisConfig::default(), profile).with_fixed_topology(topo);
-    let mut cfg = EngineConfig::default();
-    cfg.trace_sample_period = total / 100.0;
+    let cfg = EngineConfig {
+        trace_sample_period: total / 100.0,
+        ..EngineConfig::default()
+    };
     let report = run(policy, &cluster, &model, cfg, &trace);
 
     println!("# Fig. 14: cache usage %% and resident heads over time");

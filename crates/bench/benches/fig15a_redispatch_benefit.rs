@@ -43,12 +43,17 @@ fn main() {
         Scale::Full => 120.0,
     };
     let trace = TraceBuilder::new(DatasetKind::ShareGpt, 155).build(&Poisson::new(10.0), horizon);
-    let mut cfg = EngineConfig::default();
-    cfg.drain_timeout = 300.0;
+    let cfg = EngineConfig {
+        drain_timeout: 300.0,
+        ..EngineConfig::default()
+    };
 
     println!("# Fig. 15a: re-dispatching vs LIFO (ShareGPT rate 10, tight memory)");
     println!("policy\tmean_norm_latency\tp95_norm_latency\tpreemptions\tmigrations\tcompleted");
-    for (label, mode) in [("hetis", VictimMode::Hetis), ("lifo", VictimMode::PlainLifo)] {
+    for (label, mode) in [
+        ("hetis", VictimMode::Hetis),
+        ("lifo", VictimMode::PlainLifo),
+    ] {
         let profile = WorkloadProfile::from_dataset(DatasetKind::ShareGpt, 64);
         let policy = HetisPolicy::new(HetisConfig::default(), profile)
             .with_fixed_topology(topo(&cluster, model.num_layers))

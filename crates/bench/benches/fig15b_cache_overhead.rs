@@ -7,8 +7,8 @@
 
 use hetis_kvcache::index::build_headwise_index_serial;
 use hetis_kvcache::{
-    build_fetch_index_parallel, build_fetch_index_serial, BlockConfig, GroupId,
-    HeadwiseAllocator, PagedAllocator, SeqId,
+    build_fetch_index_parallel, build_fetch_index_serial, BlockConfig, GroupId, HeadwiseAllocator,
+    PagedAllocator, SeqId,
 };
 use std::time::Instant;
 
@@ -73,9 +73,15 @@ fn main() {
         timed(&mut || build_headwise_index_serial(&head, &items).total_slots());
     let (t_head_par, _) = timed(&mut || build_fetch_index_parallel(&head, &items).total_slots());
 
-    println!("fetch_index_build_ms\tvllm_serial={:.3}\theadwise_serial={:.3}\theadwise_parallel={:.3}",
-        t_paged * 1e3, t_head_serial * 1e3, t_head_par * 1e3);
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "fetch_index_build_ms\tvllm_serial={:.3}\theadwise_serial={:.3}\theadwise_parallel={:.3}",
+        t_paged * 1e3,
+        t_head_serial * 1e3,
+        t_head_par * 1e3
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
         "fetch_ratio_vs_vllm\t{:.2} (paper: 0.74 on a many-core server)\tparallel_speedup\t{:.2} on {cores} cores",
         t_head_par / t_paged,

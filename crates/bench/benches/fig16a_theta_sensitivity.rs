@@ -16,8 +16,10 @@ fn main() {
     let scale = Scale::from_env();
     let cluster = paper_cluster();
     let model = llama_13b();
-    let mut cfg = EngineConfig::default();
-    cfg.drain_timeout = 240.0;
+    let cfg = EngineConfig {
+        drain_timeout: 240.0,
+        ..EngineConfig::default()
+    };
 
     println!("# Fig. 16a: latency rate vs theta (normalized to theta=0.5)");
     println!("theta\tSG\tHE\tLB");
@@ -30,7 +32,10 @@ fn main() {
     let mut base = Vec::new();
     for &(dataset, rate) in &grids {
         let trace = bench_trace(dataset, rate, scale.horizon());
-        let policy = HetisPolicy::new(HetisConfig::default(), bench_profile_for(dataset, &cluster, &model));
+        let policy = HetisPolicy::new(
+            HetisConfig::default(),
+            bench_profile_for(dataset, &cluster, &model),
+        );
         let report = run(policy, &cluster, &model, cfg.clone(), &trace);
         base.push(report.mean_normalized_latency());
     }
@@ -38,8 +43,11 @@ fn main() {
         let mut row = format!("{theta}");
         for (k, &(dataset, rate)) in grids.iter().enumerate() {
             let trace = bench_trace(dataset, rate, scale.horizon());
-            let policy =
-                HetisPolicy::new(HetisConfig::default(), bench_profile_for(dataset, &cluster, &model)).with_theta(theta);
+            let policy = HetisPolicy::new(
+                HetisConfig::default(),
+                bench_profile_for(dataset, &cluster, &model),
+            )
+            .with_theta(theta);
             let report = run(policy, &cluster, &model, cfg.clone(), &trace);
             row.push_str(&format!(
                 "\t{:.4}",

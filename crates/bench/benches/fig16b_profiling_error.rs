@@ -18,12 +18,17 @@ fn main() {
     let model = llama_13b();
     let dataset = DatasetKind::ShareGpt;
     let rate = 8.0;
-    let mut cfg = EngineConfig::default();
-    cfg.drain_timeout = 240.0;
+    let cfg = EngineConfig {
+        drain_timeout: 240.0,
+        ..EngineConfig::default()
+    };
     let trace = bench_trace(dataset, rate, scale.horizon());
 
     let baseline = {
-        let policy = HetisPolicy::new(HetisConfig::default(), bench_profile_for(dataset, &cluster, &model));
+        let policy = HetisPolicy::new(
+            HetisConfig::default(),
+            bench_profile_for(dataset, &cluster, &model),
+        );
         run(policy, &cluster, &model, cfg.clone(), &trace).mean_normalized_latency()
     };
 
@@ -38,8 +43,11 @@ fn main() {
             Coefficient::Gamma,
             Coefficient::Beta,
         ] {
-            let policy = HetisPolicy::new(HetisConfig::default(), bench_profile_for(dataset, &cluster, &model))
-                .with_perturbation(which, pct / 100.0);
+            let policy = HetisPolicy::new(
+                HetisConfig::default(),
+                bench_profile_for(dataset, &cluster, &model),
+            )
+            .with_perturbation(which, pct / 100.0);
             let report = run(policy, &cluster, &model, cfg.clone(), &trace);
             row.push_str(&format!(
                 "\t{:.4}",

@@ -18,12 +18,7 @@ fn main() {
     for &frac in &[0.2, 0.4, 0.6, 0.8] {
         let h = headwise_overhead(&m, lan, batch, frac, 1);
         let s = seqwise_overhead(&m, lan, batch, frac, 1);
-        println!(
-            "{frac}\t{:.4}\t{:.4}\t{:.2}",
-            h * 1e3,
-            s * 1e3,
-            s / h
-        );
+        println!("{frac}\t{:.4}\t{:.4}\t{:.2}", h * 1e3, s * 1e3, s / h);
     }
 
     println!("\n# Fig. 5b: per-layer comm overhead vs worker count (even split)");
@@ -31,11 +26,6 @@ fn main() {
     for workers in 1..=4usize {
         let h = headwise_overhead(&m, lan, batch, 1.0, workers);
         let s = seqwise_overhead(&m, lan, batch, 1.0, workers);
-        println!(
-            "{workers}\t{:.4}\t{:.4}\t{:.2}",
-            h * 1e3,
-            s * 1e3,
-            s / h
-        );
+        println!("{workers}\t{:.4}\t{:.4}\t{:.2}", h * 1e3, s * 1e3, s / h);
     }
 }

@@ -7,11 +7,11 @@ use hetis_cluster::cluster::paper_cluster;
 use hetis_cluster::GpuType;
 use hetis_core::{Dispatcher, HetisConfig, Profiler};
 use hetis_engine::{KvState, StageTopo};
-use hetis_kvcache::{
-    build_fetch_index_parallel, plan_migration, BlockConfig, GroupId, HeadwiseAllocator,
-    Placement, SeqId,
-};
 use hetis_kvcache::index::build_headwise_index_serial;
+use hetis_kvcache::{
+    build_fetch_index_parallel, plan_migration, BlockConfig, GroupId, HeadwiseAllocator, Placement,
+    SeqId,
+};
 use hetis_lp::{round_to_groups, AffineExpr, ConstraintOp, MinMaxBuilder};
 use hetis_model::llama_70b;
 use hetis_parallel::StageConfig;
@@ -70,12 +70,20 @@ fn bench_dispatch(c: &mut Criterion) {
     for (k, &dev) in stage.primary.devices.iter().enumerate() {
         for q in 0..25u64 {
             kv.device_mut(dev)
-                .allocate(hetis_workload::RequestId(k as u64 * 100 + q), 0, 8, 2000, 80)
+                .allocate(
+                    hetis_workload::RequestId(k as u64 * 100 + q),
+                    0,
+                    8,
+                    2000,
+                    80,
+                )
                 .unwrap();
         }
     }
-    let dispatcher =
-        Dispatcher::new(Profiler::profile(&cluster, 8, 0.0, 3), HetisConfig::default());
+    let dispatcher = Dispatcher::new(
+        Profiler::profile(&cluster, 8, 0.0, 3),
+        HetisConfig::default(),
+    );
 
     c.bench_function("dispatch_eq7_batch4", |b| {
         b.iter(|| {

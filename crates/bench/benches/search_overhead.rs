@@ -28,10 +28,7 @@ fn main() {
             let t0 = Instant::now();
             let out = search_topology(&cluster, &model, &profile, &cfg);
             let wall = t0.elapsed().as_secs_f64();
-            println!(
-                "{label}\t{}\t{}\t{:.3}",
-                model.name, out.evaluated, wall
-            );
+            println!("{label}\t{}\t{}\t{:.3}", model.name, out.evaluated, wall);
         }
     }
 }

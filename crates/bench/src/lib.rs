@@ -114,7 +114,10 @@ pub fn run_system(
     let cfg = bench_engine_config();
     match system {
         System::Hetis => run(
-            HetisPolicy::new(HetisConfig::default(), bench_profile_for(dataset, cluster, model)),
+            HetisPolicy::new(
+                HetisConfig::default(),
+                bench_profile_for(dataset, cluster, model),
+            ),
             cluster,
             model,
             cfg,
@@ -137,8 +140,15 @@ pub fn run_e2e_figure(figure: &str, model: &ModelSpec, grids: &[(DatasetKind, &[
     let scale = Scale::from_env();
     let cluster = hetis_cluster::cluster::paper_cluster();
     tsv_header(&[
-        "figure", "dataset", "rate", "system", "norm_latency_s_per_tok", "p95_ttft_s",
-        "p95_tpot_s", "completed", "issued",
+        "figure",
+        "dataset",
+        "rate",
+        "system",
+        "norm_latency_s_per_tok",
+        "p95_ttft_s",
+        "p95_tpot_s",
+        "completed",
+        "issued",
     ]);
     for &(dataset, rates) in grids {
         for &rate in rates {

@@ -85,7 +85,7 @@ pub const MIGRATION_BW_SHARE: f64 = 0.35;
 /// proportional slice before sizing the KV pool.
 pub const ACTIVATION_RESERVE_FRACTION: f64 = 0.06;
 /// Floor for the activation reserve.
-pub const ACTIVATION_RESERVE_MIN: u64 = 1 * GB;
+pub const ACTIVATION_RESERVE_MIN: u64 = GB;
 
 /// Paper Table 1 reference times (seconds), used by calibration tests and
 /// the `table1_device_gap` bench.
@@ -130,6 +130,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn lan_is_slower_than_pcie() {
         assert!(LAN_BETA > PCIE_BETA);
         assert!(LAN_ALPHA > PCIE_ALPHA);

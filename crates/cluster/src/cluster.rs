@@ -214,7 +214,10 @@ mod tests {
         assert_eq!(c.devices_of_type(GpuType::Rtx3090).len(), 4);
         assert_eq!(c.devices_of_type(GpuType::P100).len(), 4);
         // 4*80 + 4*24 + 4*12 GB
-        assert_eq!(c.total_memory(), (4 * 80 + 4 * 24 + 4 * 12) * crate::calib::GB);
+        assert_eq!(
+            c.total_memory(),
+            (4 * 80 + 4 * 24 + 4 * 12) * crate::calib::GB
+        );
     }
 
     #[test]

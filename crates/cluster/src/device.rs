@@ -98,8 +98,7 @@ impl DeviceSpec {
                 let lerp = |lo: f64, hi: f64| lo * (hi / lo).powf(t);
                 DeviceSpec {
                     gpu,
-                    mem_bytes: (c::P100_MEM as f64
-                        + (c::A100_MEM as f64 - c::P100_MEM as f64) * t)
+                    mem_bytes: (c::P100_MEM as f64 + (c::A100_MEM as f64 - c::P100_MEM as f64) * t)
                         as u64,
                     dense_flops: lerp(c::P100_DENSE_FLOPS, c::A100_DENSE_FLOPS),
                     decode_stream_bw: lerp(c::P100_STREAM_BW, c::A100_STREAM_BW),

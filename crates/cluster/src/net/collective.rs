@@ -60,7 +60,10 @@ mod tests {
 
     #[test]
     fn allreduce_formula_exact() {
-        let l = AlphaBeta { alpha: 1e-5, beta: 1e-10 };
+        let l = AlphaBeta {
+            alpha: 1e-5,
+            beta: 1e-10,
+        };
         let t = all_reduce_time(l, 4, 1e8);
         let expect = 2.0 * 3.0 * 1e-5 + 2.0 * 0.75 * 1e8 * 1e-10;
         assert!((t - expect).abs() < 1e-15);

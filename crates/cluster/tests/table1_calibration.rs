@@ -9,7 +9,7 @@ use hetis_cluster::{
     attn_decode_time, attn_prefill_time, dense_decode_time, dense_prefill_time, AttnWork,
     DenseWork, DeviceSpec, GpuType,
 };
-use hetis_model::{opt_2_7b, DenseOp, ModuleCosts};
+use hetis_model::{opt_2_7b, ModuleCosts};
 
 /// Whole-model prefill iteration time for `n` requests of `seq` tokens.
 fn prefill_time(spec: &DeviceSpec) -> f64 {

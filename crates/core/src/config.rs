@@ -89,8 +89,7 @@ impl WorkloadProfile {
             .saturating_sub(model.weight_bytes_total())
             .saturating_sub(reserves);
         let per_token = hetis_model::KvFootprint::new(model).bytes_per_token();
-        let concurrency = ((best_case_pool as f64 * utilization)
-            / (avg_ctx * per_token as f64))
+        let concurrency = ((best_case_pool as f64 * utilization) / (avg_ctx * per_token as f64))
             .floor()
             .max(1.0) as u64;
         Self::from_dataset(kind, concurrency)

@@ -431,7 +431,13 @@ mod tests {
             let groups = (free / unit / 80).saturating_sub(1) as u32;
             if groups > 0 {
                 kv.device_mut(dev)
-                    .allocate(hetis_workload::RequestId(5000 + dev.0 as u64), 0, groups, 16, 80)
+                    .allocate(
+                        hetis_workload::RequestId(5000 + dev.0 as u64),
+                        0,
+                        groups,
+                        16,
+                        80,
+                    )
                     .unwrap();
             }
         }

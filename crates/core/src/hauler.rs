@@ -58,15 +58,14 @@ pub fn plan_redispatch(
     let r = model.gqa_ratio();
     let group_token_bytes = 2 * model.head_dim * model.dtype.bytes();
     let mut out = Vec::new();
-    for s in 0..old.per_stage.len() {
+    for (s, &layers) in stage_layers.iter().enumerate().take(old.per_stage.len()) {
         let old_p = to_group_placement(old, s, r);
         let new_p = to_group_placement(new, s, r);
         let (moves, _frees) = plan_migration(&old_p, &new_p);
         if moves.is_empty() {
             continue;
         }
-        let per_group_bytes =
-            (tokens as u64 * group_token_bytes * stage_layers[s] as u64) as f64;
+        let per_group_bytes = (tokens as u64 * group_token_bytes * layers as u64) as f64;
         let bytes = per_group_bytes * moves.len() as f64;
         let foreground_seconds: f64 = moves
             .iter()
@@ -104,10 +103,7 @@ mod tests {
 
     fn placement(stage0: &[(u32, u32)]) -> HeadPlacement {
         HeadPlacement {
-            per_stage: vec![stage0
-                .iter()
-                .map(|&(d, h)| (DeviceId(d), h))
-                .collect()],
+            per_stage: vec![stage0.iter().map(|&(d, h)| (DeviceId(d), h)).collect()],
         }
     }
 

@@ -174,11 +174,8 @@ fn exclusion_phase(
     let mut cp_current = cp_of(&current)?;
 
     // Walk GPUs from the lowest-end type upwards, removing one at a time.
-    loop {
-        // Lowest-power non-empty type.
-        let Some(last) = current.iter().rposition(|g| !g.devices.is_empty()) else {
-            break;
-        };
+    // (`last` is the lowest-power non-empty type.)
+    while let Some(last) = current.iter().rposition(|g| !g.devices.is_empty()) {
         if current.iter().filter(|g| !g.devices.is_empty()).count() == 1
             && current[last].devices.len() == 1
         {
@@ -281,7 +278,7 @@ fn explore_shapes(
             // TP must divide the head counts.
             let tp_ok = chain_groups.iter().all(|g| {
                 let tp = g.len() as u32;
-                model.num_heads % tp == 0 && (tp <= model.num_kv_heads)
+                model.num_heads.is_multiple_of(tp) && (tp <= model.num_kv_heads)
             });
             if tp_ok {
                 let speeds: Vec<f64> = chain_groups
@@ -439,8 +436,7 @@ fn capacity_ok(
             .iter()
             .map(|&w| hetis_cluster::MemoryLedger::new(cluster.spec(w).mem_bytes).kv_pool())
             .sum();
-        let tokens =
-            hetis_engine::memory::max_tokens_with_overflow_pool(&pools, &costs, shared);
+        let tokens = hetis_engine::memory::max_tokens_with_overflow_pool(&pools, &costs, shared);
         usable += tokens * per_layer * model.num_layers as u64;
     }
     usable >= profile.required_kv_bytes(model)
@@ -547,12 +543,7 @@ mod tests {
     fn large_cluster_search_completes() {
         let cluster = hetis_cluster::cluster::large_synthetic(5, 8);
         let profile = WorkloadProfile::from_dataset(DatasetKind::ShareGpt, 64);
-        let out = search_topology(
-            &cluster,
-            &llama_13b(),
-            &profile,
-            &HetisConfig::default(),
-        );
+        let out = search_topology(&cluster, &llama_13b(), &profile, &HetisConfig::default());
         assert!(!out.topology.instances.is_empty());
     }
 

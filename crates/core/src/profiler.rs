@@ -200,10 +200,8 @@ impl Profiler {
                     for gi in 0..test_grid {
                         // Offset test points so they interleave the
                         // training grid.
-                        let h = 96.0
-                            * (6000.0_f64 / 96.0).powf(hi as f64 / (test_grid - 1) as f64);
-                        let g =
-                            12e6 * (3e9_f64 / 12e6).powf(gi as f64 / (test_grid - 1) as f64);
+                        let h = 96.0 * (6000.0_f64 / 96.0).powf(hi as f64 / (test_grid - 1) as f64);
+                        let g = 12e6 * (3e9_f64 / 12e6).powf(gi as f64 / (test_grid - 1) as f64);
                         let truth = attn_decode_time(
                             &dev.spec,
                             AttnWork {
@@ -240,10 +238,8 @@ impl Profiler {
                 let mut n = 0;
                 for hi in 0..test_grid {
                     for gi in 0..test_grid {
-                        let h = 96.0
-                            * (6000.0_f64 / 96.0).powf(hi as f64 / (test_grid - 1) as f64);
-                        let g =
-                            12e6 * (3e9_f64 / 12e6).powf(gi as f64 / (test_grid - 1) as f64);
+                        let h = 96.0 * (6000.0_f64 / 96.0).powf(hi as f64 / (test_grid - 1) as f64);
+                        let g = 12e6 * (3e9_f64 / 12e6).powf(gi as f64 / (test_grid - 1) as f64);
                         let measured = attn_decode_time(
                             &dev.spec,
                             AttnWork {
@@ -333,7 +329,11 @@ impl Profiler {
                 _ => {}
             }
         }
-        for l in self.links_inter.iter_mut().chain(self.links_intra.iter_mut()) {
+        for l in self
+            .links_inter
+            .iter_mut()
+            .chain(self.links_intra.iter_mut())
+        {
             match which {
                 Coefficient::Gamma => l.gamma *= 1.0 + frac,
                 Coefficient::Beta => l.beta *= 1.0 + frac,
@@ -389,6 +389,7 @@ fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> [f64; 3] {
         let p = a[col][col];
         for row in col + 1..3 {
             let f = a[row][col] / p;
+            #[allow(clippy::needless_range_loop)] // two rows of one matrix
             for k in col..3 {
                 a[row][k] -= f * a[col][k];
             }

@@ -14,8 +14,8 @@
 //!   instead of evicted.
 
 use crate::dispatcher::Dispatcher;
-use hetis_engine::{HeadPlacement, Phase, PolicyCtx, RedispatchOp, StageTopo, VictimAction};
 use hetis_cluster::DeviceId;
+use hetis_engine::{HeadPlacement, Phase, PolicyCtx, RedispatchOp, StageTopo, VictimAction};
 use hetis_workload::RequestId;
 
 /// Computes the victim's per-device (heads, per-layer bytes) footprint on
@@ -96,13 +96,9 @@ pub fn balance_computation(
 ) -> Option<RedispatchOp> {
     let stages = &ctx.topology.instances[instance].stages;
     for (s, stage) in stages.iter().enumerate() {
-        let (current, Some(bottleneck)) = dispatcher.current_attention_time(
-            ctx.cluster,
-            ctx.model,
-            ctx.kv,
-            stage,
-            s as u16,
-        ) else {
+        let (current, Some(bottleneck)) =
+            dispatcher.current_attention_time(ctx.cluster, ctx.model, ctx.kv, stage, s as u16)
+        else {
             continue;
         };
         let ideal =
@@ -175,11 +171,7 @@ pub fn select_victim(
         VictimMode::PlainLifo => {
             // Newest admission anywhere on the instance — may not even
             // touch the exhausted device (the paper's criticism).
-            let v = ctx
-                .requests
-                .values()
-                .filter(eligible)
-                .max_by(|a, b| cmp_admitted(a, b));
+            let v = ctx.requests.values().filter(eligible).max_by(cmp_admitted);
             match v {
                 Some(r) => VictimAction::Evict(r.req.id),
                 None => VictimAction::Stall,
@@ -191,7 +183,7 @@ pub fn select_victim(
                 .values()
                 .filter(eligible)
                 .filter(|r| ctx.kv.device(device).request_bytes(r.req.id) > 0)
-                .min_by(|a, b| cmp_admitted(a, b));
+                .min_by(cmp_admitted);
             match v {
                 Some(r) => VictimAction::Evict(r.req.id),
                 None => VictimAction::Stall,
@@ -204,7 +196,7 @@ pub fn select_victim(
                 .values()
                 .filter(eligible)
                 .filter(|r| ctx.kv.device(device).request_bytes(r.req.id) > 0)
-                .max_by(|a, b| cmp_admitted(a, b));
+                .max_by(cmp_admitted);
             let Some(victim) = v.map(|r| r.req.id) else {
                 return VictimAction::Stall;
             };

@@ -120,9 +120,7 @@ impl Policy for HetisPolicy {
         let load = |i: usize| {
             ctx.requests
                 .values()
-                .filter(|r| {
-                    r.instance == i && r.phase != hetis_engine::Phase::Done
-                })
+                .filter(|r| r.instance == i && r.phase != hetis_engine::Phase::Done)
                 .count()
         };
         let min_load = entries.iter().map(|&i| load(i)).min().unwrap_or(0);
@@ -169,6 +167,7 @@ impl Policy for HetisPolicy {
             }
             if feasible {
                 let mut result: Vec<Option<HeadPlacement>> = Vec::with_capacity(lens.len());
+                #[allow(clippy::needless_range_loop)] // j indexes every stage's batch
                 for j in 0..k {
                     let per_stage = stages
                         .iter()
@@ -214,7 +213,13 @@ impl Policy for HetisPolicy {
         _blocked: RequestId,
         ctx: &PolicyCtx<'_>,
     ) -> VictimAction {
-        select_victim(self.dispatcher_ref(), ctx, instance, device, self.victim_mode)
+        select_victim(
+            self.dispatcher_ref(),
+            ctx,
+            instance,
+            device,
+            self.victim_mode,
+        )
     }
 }
 
@@ -236,7 +241,12 @@ mod tests {
         let n = trace.len();
         let report = run(policy, &cluster, &model, EngineConfig::default(), &trace);
         assert_eq!(report.policy, "hetis");
-        assert_eq!(report.completed.len(), n, "unfinished {}", report.unfinished);
+        assert_eq!(
+            report.completed.len(),
+            n,
+            "unfinished {}",
+            report.unfinished
+        );
         assert!(report.mean_normalized_latency() < 0.5);
     }
 
@@ -262,8 +272,8 @@ mod tests {
             }],
         };
         let profile = WorkloadProfile::from_dataset(DatasetKind::ShareGpt, 32);
-        let policy = HetisPolicy::new(HetisConfig::default(), profile)
-            .with_fixed_topology(topo.clone());
+        let policy =
+            HetisPolicy::new(HetisConfig::default(), profile).with_fixed_topology(topo.clone());
         let trace = TraceBuilder::new(DatasetKind::ShareGpt, 13).build(&Poisson::new(2.0), 15.0);
         let report = run(policy, &cluster, &model, EngineConfig::default(), &trace);
         assert!(report.completion_rate() > 0.99);

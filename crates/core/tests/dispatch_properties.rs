@@ -12,7 +12,15 @@ use hetis_workload::RequestId;
 use proptest::prelude::*;
 use std::collections::HashMap;
 
-fn setup(resident: &[(usize, u32, u32)]) -> (hetis_cluster::Cluster, hetis_model::ModelSpec, KvState, StageTopo, Dispatcher) {
+fn setup(
+    resident: &[(usize, u32, u32)],
+) -> (
+    hetis_cluster::Cluster,
+    hetis_model::ModelSpec,
+    KvState,
+    StageTopo,
+    Dispatcher,
+) {
     let cluster = paper_cluster();
     let model = llama_70b();
     let mut kv = KvState::new(&cluster, &model, 16, &HashMap::new()).unwrap();
@@ -24,12 +32,22 @@ fn setup(resident: &[(usize, u32, u32)]) -> (hetis_cluster::Cluster, hetis_model
     let devices = stage.attention_devices();
     for (k, &(dev_idx, groups, tokens)) in resident.iter().enumerate() {
         let dev = devices[dev_idx % devices.len()];
-        let _ = kv
-            .device_mut(dev)
-            .allocate(RequestId(10_000 + k as u64), 0, groups.clamp(1, 8), tokens.max(16), 80);
+        let _ = kv.device_mut(dev).allocate(
+            RequestId(10_000 + k as u64),
+            0,
+            groups.clamp(1, 8),
+            tokens.max(16),
+            80,
+        );
     }
     let profiler = Profiler::profile(&cluster, 8, 0.0, 17);
-    (cluster, model, kv, stage, Dispatcher::new(profiler, HetisConfig::default()))
+    (
+        cluster,
+        model,
+        kv,
+        stage,
+        Dispatcher::new(profiler, HetisConfig::default()),
+    )
 }
 
 proptest! {

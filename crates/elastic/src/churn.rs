@@ -1,0 +1,318 @@
+//! Seeded cluster-churn generation: spot preemptions, failures, joins,
+//! and slowdowns with per-device-class rates.
+//!
+//! Real heterogeneous fleets mix reliability classes — consumer GPUs
+//! throttle and drop out far more often than datacenter parts, and spot
+//! capacity is revoked in storms. [`ChurnProcess`] turns per-`GpuType`
+//! rates into a deterministic, time-sorted schedule of
+//! [`ClusterEvent`]s; the same `(cluster, seed, horizon)` triple always
+//! yields the same schedule, keeping every churn scenario reproducible
+//! bit-for-bit.
+
+use hetis_cluster::{Cluster, DeviceId, GpuType};
+use hetis_engine::{ClusterEvent, ClusterEventKind};
+use hetis_sim::SplitMix64;
+
+/// Per-device-class churn rates (events per device-hour) and shapes.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassRates {
+    /// Spot-preemption notices per device-hour.
+    pub preempt_per_hour: f64,
+    /// Hard failures per device-hour.
+    pub fail_per_hour: f64,
+    /// Thermal/noisy-neighbor slowdowns per device-hour.
+    pub slowdown_per_hour: f64,
+    /// Seconds between a preemption notice and revocation.
+    pub notice_s: f64,
+    /// Slowdown factor range (uniform; both ≥ 1).
+    pub slowdown_factor: (f64, f64),
+    /// Seconds a slowdown lasts.
+    pub slowdown_duration_s: f64,
+    /// Seconds after a death until the device rejoins (`None` = never).
+    pub rejoin_after_s: Option<f64>,
+}
+
+impl ClassRates {
+    /// A perfectly reliable class.
+    pub const STABLE: ClassRates = ClassRates {
+        preempt_per_hour: 0.0,
+        fail_per_hour: 0.0,
+        slowdown_per_hour: 0.0,
+        notice_s: 30.0,
+        slowdown_factor: (1.5, 2.5),
+        slowdown_duration_s: 60.0,
+        rejoin_after_s: None,
+    };
+
+    /// A spot-market-like class: frequent preemption with notice,
+    /// capacity returns after a while.
+    pub fn spot(preempt_per_hour: f64, notice_s: f64, rejoin_after_s: f64) -> ClassRates {
+        ClassRates {
+            preempt_per_hour,
+            notice_s,
+            rejoin_after_s: Some(rejoin_after_s),
+            ..ClassRates::STABLE
+        }
+    }
+}
+
+/// Deterministic churn-schedule generator.
+#[derive(Debug, Clone)]
+pub struct ChurnProcess {
+    seed: u64,
+    rates: Vec<(GpuType, ClassRates)>,
+    default_rates: ClassRates,
+}
+
+impl ChurnProcess {
+    /// A process with no churn for any class (add classes with
+    /// [`ChurnProcess::class`]).
+    pub fn new(seed: u64) -> Self {
+        ChurnProcess {
+            seed,
+            rates: Vec::new(),
+            default_rates: ClassRates::STABLE,
+        }
+    }
+
+    /// Sets the rates of one GPU class.
+    pub fn class(mut self, gpu: GpuType, rates: ClassRates) -> Self {
+        self.rates.retain(|(g, _)| *g != gpu);
+        self.rates.push((gpu, rates));
+        self
+    }
+
+    /// Sets the rates of every class not configured explicitly.
+    pub fn default_rates(mut self, rates: ClassRates) -> Self {
+        self.default_rates = rates;
+        self
+    }
+
+    fn rates_of(&self, gpu: GpuType) -> ClassRates {
+        self.rates
+            .iter()
+            .find(|(g, _)| *g == gpu)
+            .map(|(_, r)| *r)
+            .unwrap_or(self.default_rates)
+    }
+
+    /// Generates the deterministic schedule over `[0, horizon)` seconds.
+    pub fn generate(&self, cluster: &Cluster, horizon: f64) -> Vec<ClusterEvent> {
+        let mut events: Vec<ClusterEvent> = Vec::new();
+        for d in cluster.devices() {
+            let rates = self.rates_of(d.spec.gpu);
+            // Independent per-device stream: same cluster+seed ⇒ same
+            // schedule regardless of which other classes churn.
+            let mut rng =
+                SplitMix64::new(self.seed ^ (d.id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            device_timeline(d.id, rates, horizon, &mut rng, &mut events);
+        }
+        sort_events(&mut events);
+        events
+    }
+
+    /// A preemption storm: every device of `gpu` receives a preemption
+    /// notice inside `[start, start + spread)`, with per-device jitter.
+    /// Capacity rejoins `rejoin_after_s` later when given.
+    pub fn preemption_storm(
+        cluster: &Cluster,
+        gpu: GpuType,
+        seed: u64,
+        start: f64,
+        spread: f64,
+        notice_s: f64,
+        rejoin_after_s: Option<f64>,
+    ) -> Vec<ClusterEvent> {
+        let mut rng = SplitMix64::new(seed);
+        let mut events = Vec::new();
+        for dev in cluster.devices_of_type(gpu) {
+            let at = start + rng.uniform(0.0, spread.max(1e-9));
+            events.push(ClusterEvent {
+                time: at,
+                device: dev,
+                kind: ClusterEventKind::PreemptNotice { notice: notice_s },
+            });
+            if let Some(back) = rejoin_after_s {
+                events.push(ClusterEvent {
+                    time: at + notice_s + back,
+                    device: dev,
+                    kind: ClusterEventKind::Join,
+                });
+            }
+        }
+        sort_events(&mut events);
+        events
+    }
+}
+
+/// Walks one device's alive/dead/slowed timeline, emitting its events.
+fn device_timeline(
+    dev: DeviceId,
+    rates: ClassRates,
+    horizon: f64,
+    rng: &mut SplitMix64,
+    out: &mut Vec<ClusterEvent>,
+) {
+    let mut t = 0.0f64;
+    // Cap the emitted events per device: a degenerate config (huge rates,
+    // instant rejoin) must not hang the generator.
+    for _ in 0..10_000 {
+        let dt_preempt = exp_sample(rates.preempt_per_hour / 3600.0, rng);
+        let dt_fail = exp_sample(rates.fail_per_hour / 3600.0, rng);
+        let dt_slow = exp_sample(rates.slowdown_per_hour / 3600.0, rng);
+        let dt = dt_preempt.min(dt_fail).min(dt_slow);
+        if !dt.is_finite() || t + dt >= horizon {
+            return;
+        }
+        t += dt;
+        if dt == dt_slow {
+            let (lo, hi) = rates.slowdown_factor;
+            let factor = rng.uniform(lo.max(1.0), hi.max(lo.max(1.0) + 1e-9));
+            out.push(ClusterEvent {
+                time: t,
+                device: dev,
+                kind: ClusterEventKind::Slowdown { factor },
+            });
+            let end = t + rates.slowdown_duration_s;
+            if end < horizon {
+                out.push(ClusterEvent {
+                    time: end,
+                    device: dev,
+                    kind: ClusterEventKind::Restore,
+                });
+            }
+            t = end.min(horizon);
+            continue;
+        }
+        // Death: preemption notice (graceful) or failure (abrupt).
+        let death_at = if dt == dt_preempt {
+            out.push(ClusterEvent {
+                time: t,
+                device: dev,
+                kind: ClusterEventKind::PreemptNotice {
+                    notice: rates.notice_s,
+                },
+            });
+            t + rates.notice_s
+        } else {
+            out.push(ClusterEvent {
+                time: t,
+                device: dev,
+                kind: ClusterEventKind::Fail,
+            });
+            t
+        };
+        match rates.rejoin_after_s {
+            Some(back) => {
+                let rejoin = death_at + back;
+                if rejoin >= horizon {
+                    return;
+                }
+                out.push(ClusterEvent {
+                    time: rejoin,
+                    device: dev,
+                    kind: ClusterEventKind::Join,
+                });
+                t = rejoin;
+            }
+            None => return,
+        }
+    }
+}
+
+/// Exponential inter-arrival sample; +inf at rate 0.
+fn exp_sample(rate_per_s: f64, rng: &mut SplitMix64) -> f64 {
+    if rate_per_s <= 0.0 {
+        return f64::INFINITY;
+    }
+    let u = rng.next_f64().max(f64::MIN_POSITIVE);
+    -u.ln() / rate_per_s
+}
+
+/// Stable deterministic order: time, then device, then kind rank.
+fn sort_events(events: &mut [ClusterEvent]) {
+    events.sort_by(|a, b| {
+        a.time
+            .partial_cmp(&b.time)
+            .expect("finite event times")
+            .then(a.device.cmp(&b.device))
+            .then(kind_rank(&a.kind).cmp(&kind_rank(&b.kind)))
+    });
+}
+
+fn kind_rank(k: &ClusterEventKind) -> u8 {
+    match k {
+        ClusterEventKind::Fail => 0,
+        ClusterEventKind::PreemptNotice { .. } => 1,
+        ClusterEventKind::Join => 2,
+        ClusterEventKind::Slowdown { .. } => 3,
+        ClusterEventKind::Restore => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetis_cluster::cluster::paper_cluster;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = paper_cluster();
+        let p = ChurnProcess::new(7)
+            .class(GpuType::P100, ClassRates::spot(40.0, 20.0, 60.0))
+            .class(
+                GpuType::Rtx3090,
+                ClassRates {
+                    slowdown_per_hour: 60.0,
+                    ..ClassRates::STABLE
+                },
+            );
+        let a = p.generate(&c, 600.0);
+        let b = p.generate(&c, 600.0);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "expected churn at these rates");
+    }
+
+    #[test]
+    fn events_sorted_and_scoped() {
+        let c = paper_cluster();
+        let p = ChurnProcess::new(3).class(GpuType::P100, ClassRates::spot(60.0, 10.0, 30.0));
+        let evs = p.generate(&c, 900.0);
+        for w in evs.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        let p100s = c.devices_of_type(GpuType::P100);
+        for e in &evs {
+            assert!(e.time < 900.0);
+            assert!(p100s.contains(&e.device), "only P100s churn here");
+        }
+    }
+
+    #[test]
+    fn stable_class_emits_nothing() {
+        let c = paper_cluster();
+        let evs = ChurnProcess::new(1).generate(&c, 3600.0);
+        assert!(evs.is_empty());
+    }
+
+    #[test]
+    fn storm_hits_every_device_of_class() {
+        let c = paper_cluster();
+        let evs =
+            ChurnProcess::preemption_storm(&c, GpuType::Rtx3090, 11, 10.0, 5.0, 15.0, Some(120.0));
+        let devs = c.devices_of_type(GpuType::Rtx3090);
+        let notices: Vec<&ClusterEvent> = evs
+            .iter()
+            .filter(|e| matches!(e.kind, ClusterEventKind::PreemptNotice { .. }))
+            .collect();
+        assert_eq!(notices.len(), devs.len());
+        for n in &notices {
+            assert!((10.0..15.0).contains(&n.time));
+        }
+        let joins = evs
+            .iter()
+            .filter(|e| e.kind == ClusterEventKind::Join)
+            .count();
+        assert_eq!(joins, devs.len());
+    }
+}

@@ -1,0 +1,188 @@
+//! [`ElasticPolicy`]: wraps any serving policy with live re-planning.
+//!
+//! The wrapper delegates every scheduling decision to the inner policy
+//! and adds the [`crate::ElasticController`] behind the engine's
+//! cluster-change hook. Two modes:
+//!
+//! * [`ElasticPolicy::with_controller`] — full elasticity: on every churn
+//!   event the controller re-plans the worker pool, drains KV off
+//!   devices under preemption notice, and charges a deterministic
+//!   re-plan latency.
+//! * [`ElasticPolicy::frozen`] — the no-replanning baseline: the engine
+//!   still enforces safety (dead devices pruned, lost instances downed,
+//!   orphaned requests re-enqueued) but nothing is re-planned, drained,
+//!   or reclaimed. This is the "vLLM-style failover" every elastic
+//!   scenario compares against.
+
+use crate::controller::ElasticController;
+use hetis_cluster::{Cluster, DeviceId};
+use hetis_core::{HetisConfig, HetisPolicy, WorkloadProfile};
+use hetis_engine::{
+    ClusterEvent, EngineConfig, Handoff, HeadPlacement, HealthView, Policy, PolicyCtx,
+    RedispatchOp, ReplanResponse, Topology, VictimAction,
+};
+use hetis_model::ModelSpec;
+use hetis_workload::{Request, RequestId};
+
+/// A policy wrapper adding (or explicitly withholding) elasticity.
+pub struct ElasticPolicy<P: Policy> {
+    inner: P,
+    controller: Option<ElasticController>,
+    /// Health as of the last cluster event (drives incremental drains).
+    health: Option<HealthView>,
+    /// Replan statistics observed so far (event label, searched
+    /// candidates), for diagnostics.
+    replans_seen: Vec<(String, usize)>,
+    /// Drain re-dispatches planned across the run.
+    drains_planned: usize,
+}
+
+impl<P: Policy> ElasticPolicy<P> {
+    /// Full elasticity around `inner`.
+    pub fn with_controller(inner: P, controller: ElasticController) -> Self {
+        ElasticPolicy {
+            inner,
+            controller: Some(controller),
+            health: None,
+            replans_seen: Vec::new(),
+            drains_planned: 0,
+        }
+    }
+
+    /// The no-replan baseline: engine-enforced safety only.
+    pub fn frozen(inner: P) -> Self {
+        ElasticPolicy {
+            inner,
+            controller: None,
+            health: None,
+            replans_seen: Vec::new(),
+            drains_planned: 0,
+        }
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Unwraps the inner policy.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    /// Events handled so far as (label, searched candidates).
+    pub fn replans_seen(&self) -> &[(String, usize)] {
+        &self.replans_seen
+    }
+
+    /// Drain re-dispatches planned across the run.
+    pub fn drains_planned(&self) -> usize {
+        self.drains_planned
+    }
+}
+
+/// Hetis with its matching elastic controller (same config + profile).
+pub fn elastic_hetis(cfg: HetisConfig, profile: WorkloadProfile) -> ElasticPolicy<HetisPolicy> {
+    let controller = ElasticController::new(cfg.clone(), profile);
+    ElasticPolicy::with_controller(HetisPolicy::new(cfg, profile), controller)
+}
+
+/// Hetis with churn safety but no re-planning (the ablation baseline).
+pub fn frozen_hetis(cfg: HetisConfig, profile: WorkloadProfile) -> ElasticPolicy<HetisPolicy> {
+    ElasticPolicy::frozen(HetisPolicy::new(cfg, profile))
+}
+
+impl<P: Policy> Policy for ElasticPolicy<P> {
+    fn name(&self) -> String {
+        match self.controller {
+            Some(_) => format!("{}+elastic", self.inner.name()),
+            None => format!("{}+frozen", self.inner.name()),
+        }
+    }
+
+    fn topology(&mut self, cluster: &Cluster, model: &ModelSpec, cfg: &EngineConfig) -> Topology {
+        self.inner.topology(cluster, model, cfg)
+    }
+
+    fn route(&mut self, req: &Request, ctx: &PolicyCtx<'_>) -> usize {
+        self.inner.route(req, ctx)
+    }
+
+    fn place_batch(
+        &mut self,
+        instance: usize,
+        reqs: &[(RequestId, u32)],
+        ctx: &PolicyCtx<'_>,
+    ) -> Vec<Option<HeadPlacement>> {
+        self.inner.place_batch(instance, reqs, ctx)
+    }
+
+    fn after_prefill(
+        &mut self,
+        instance: usize,
+        req: RequestId,
+        ctx: &PolicyCtx<'_>,
+    ) -> Option<Handoff> {
+        self.inner.after_prefill(instance, req, ctx)
+    }
+
+    fn before_decode(&mut self, instance: usize, ctx: &PolicyCtx<'_>) -> Vec<RedispatchOp> {
+        // Incremental KV drain off devices under preemption notice:
+        // requests are movable only between iterations, so each
+        // scheduling round carries another slice of the drain. Drains
+        // preempt the inner policy's balancing this round.
+        if let (Some(controller), Some(health)) = (&self.controller, &self.health) {
+            let drains = controller.drain_plans(health, ctx, Some(instance));
+            if !drains.is_empty() {
+                self.drains_planned += drains.len();
+                return drains;
+            }
+        }
+        self.inner.before_decode(instance, ctx)
+    }
+
+    fn select_victim(
+        &mut self,
+        instance: usize,
+        device: DeviceId,
+        blocked: RequestId,
+        ctx: &PolicyCtx<'_>,
+    ) -> VictimAction {
+        self.inner.select_victim(instance, device, blocked, ctx)
+    }
+
+    fn on_cluster_change(
+        &mut self,
+        event: &ClusterEvent,
+        health: &HealthView,
+        ctx: &PolicyCtx<'_>,
+    ) -> ReplanResponse {
+        self.health = Some(health.clone());
+        let Some(controller) = &self.controller else {
+            return ReplanResponse::default();
+        };
+        let plan = controller.replan(event, health, ctx);
+        self.replans_seen
+            .push((event.label(), plan.searched_candidates));
+        ReplanResponse {
+            new_topology: Some(plan.topology),
+            migrations: plan.migrations,
+            replan_latency: plan.replan_latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetis_workload::DatasetKind;
+
+    #[test]
+    fn names_distinguish_modes() {
+        let profile = WorkloadProfile::from_dataset(DatasetKind::ShareGpt, 16);
+        let e = elastic_hetis(HetisConfig::default(), profile);
+        assert_eq!(e.name(), "hetis+elastic");
+        let f = frozen_hetis(HetisConfig::default(), profile);
+        assert_eq!(f.name(), "hetis+frozen");
+    }
+}

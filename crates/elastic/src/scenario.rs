@@ -1,0 +1,141 @@
+//! Churn scenarios: a request trace plus a deterministic cluster-change
+//! schedule, built together so one seed reproduces the whole experiment.
+
+use crate::churn::ChurnProcess;
+use hetis_cluster::{Cluster, GpuType};
+use hetis_engine::{run_with_churn, ClusterEvent, EngineConfig, Policy, RunReport};
+use hetis_model::ModelSpec;
+use hetis_workload::{ArrivalProcess, DatasetKind, PiecewiseRate, Poisson, Trace, TraceBuilder};
+
+/// A complete elastic-serving scenario.
+#[derive(Debug, Clone)]
+pub struct ChurnScenario {
+    /// The request trace.
+    pub trace: Trace,
+    /// The cluster-change schedule.
+    pub events: Vec<ClusterEvent>,
+    /// Horizon both were generated over, seconds.
+    pub horizon: f64,
+}
+
+impl ChurnScenario {
+    /// Steady Poisson arrivals plus a churn process.
+    pub fn steady(
+        cluster: &Cluster,
+        dataset: DatasetKind,
+        seed: u64,
+        rate: f64,
+        horizon: f64,
+        churn: &ChurnProcess,
+    ) -> Self {
+        ChurnScenario {
+            trace: TraceBuilder::new(dataset, seed).build(&Poisson::new(rate), horizon),
+            events: churn.generate(cluster, horizon),
+            horizon,
+        }
+    }
+
+    /// The adversarial headline scenario: every device of `gpu` receives
+    /// a preemption notice inside a storm window while the request rate
+    /// spikes by `rate_multiplier` in the same window. Capacity rejoins
+    /// `rejoin_after_s` after revocation when given.
+    #[allow(clippy::too_many_arguments)]
+    pub fn preemption_storm(
+        cluster: &Cluster,
+        dataset: DatasetKind,
+        seed: u64,
+        base_rate: f64,
+        horizon: f64,
+        gpu: GpuType,
+        storm_start: f64,
+        storm_len: f64,
+        notice_s: f64,
+        rejoin_after_s: Option<f64>,
+        rate_multiplier: f64,
+    ) -> Self {
+        let arrivals =
+            PiecewiseRate::storm(horizon, base_rate, storm_start, storm_len, rate_multiplier);
+        ChurnScenario {
+            trace: TraceBuilder::new(dataset, seed).build(&arrivals, horizon),
+            events: ChurnProcess::preemption_storm(
+                cluster,
+                gpu,
+                seed ^ 0xE1A5_71C0,
+                storm_start,
+                storm_len,
+                notice_s,
+                rejoin_after_s,
+            ),
+            horizon,
+        }
+    }
+
+    /// Custom arrivals + explicit events.
+    pub fn custom<A: ArrivalProcess>(
+        dataset: DatasetKind,
+        seed: u64,
+        arrivals: &A,
+        horizon: f64,
+        events: Vec<ClusterEvent>,
+    ) -> Self {
+        ChurnScenario {
+            trace: TraceBuilder::new(dataset, seed).build(arrivals, horizon),
+            events,
+            horizon,
+        }
+    }
+
+    /// Runs a policy through the scenario.
+    pub fn run<P: Policy>(
+        &self,
+        policy: P,
+        cluster: &Cluster,
+        model: &ModelSpec,
+        cfg: EngineConfig,
+    ) -> RunReport {
+        run_with_churn(policy, cluster, model, cfg, &self.trace, &self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::ClassRates;
+    use hetis_cluster::cluster::paper_cluster;
+
+    #[test]
+    fn steady_scenario_is_deterministic() {
+        let c = paper_cluster();
+        let churn = ChurnProcess::new(5).class(GpuType::P100, ClassRates::spot(30.0, 15.0, 45.0));
+        let a = ChurnScenario::steady(&c, DatasetKind::ShareGpt, 9, 2.0, 60.0, &churn);
+        let b = ChurnScenario::steady(&c, DatasetKind::ShareGpt, 9, 2.0, 60.0, &churn);
+        assert_eq!(a.trace.requests(), b.trace.requests());
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn storm_scenario_spikes_and_preempts_together() {
+        let c = paper_cluster();
+        let s = ChurnScenario::preemption_storm(
+            &c,
+            DatasetKind::ShareGpt,
+            3,
+            2.0,
+            120.0,
+            GpuType::P100,
+            40.0,
+            10.0,
+            15.0,
+            Some(30.0),
+            2.5,
+        );
+        assert!(!s.events.is_empty());
+        // All preemption notices sit in the storm window.
+        for e in &s.events {
+            if matches!(e.kind, hetis_engine::ClusterEventKind::PreemptNotice { .. }) {
+                assert!((40.0..50.0).contains(&e.time));
+            }
+        }
+        assert!(!s.trace.is_empty());
+    }
+}

@@ -7,6 +7,7 @@
 //! plugged-in [`Policy`] decides placement, hand-offs, re-dispatching and
 //! victims.
 
+use crate::churn::{ClusterEvent, ClusterEventKind, DeviceHealth, HealthView, ReplanRecord};
 use crate::config::EngineConfig;
 use crate::memory::KvState;
 use crate::metrics::{CompletedRequest, ModuleSample, RunReport, TraceSample};
@@ -28,10 +29,16 @@ enum Event {
     Arrival(usize),
     /// A microbatch finished its last stage.
     UbatchDone { inst: usize, cohort: usize },
-    /// A KV migration (scatter / hand-off / re-dispatch) landed.
-    MigrationDone { req: RequestId },
+    /// A KV migration (scatter / hand-off / re-dispatch) landed; `epoch`
+    /// must match the request's current migration epoch (stale
+    /// completions of an aborted transfer are ignored).
+    MigrationDone { req: RequestId, epoch: u32 },
     /// Periodic resource sampling.
     Sample,
+    /// The `i`-th cluster-change event of the churn schedule fires.
+    ClusterChange(usize),
+    /// A draining device's preemption notice expires — it dies now.
+    DrainDeadline(DeviceId),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +101,14 @@ pub struct Engine<'a, P: Policy> {
     migration: MigrationStream,
     trace_requests: Vec<hetis_workload::Request>,
     last_arrival: f64,
+    // elasticity state
+    health: Vec<DeviceHealth>,
+    original_roles: Vec<InstanceRole>,
+    churn: Vec<ClusterEvent>,
+    /// In-flight requests whose churn eviction is pending at microbatch
+    /// completion but already attributed to a ReplanRecord (guards
+    /// against double-counting across overlapping device deaths).
+    attributed_pending: Vec<RequestId>,
     // report accumulators
     completed: Vec<CompletedRequest>,
     module_samples: Vec<ModuleSample>,
@@ -101,24 +116,41 @@ pub struct Engine<'a, P: Policy> {
     preemptions: u64,
     migrations: u64,
     migrated_bytes: f64,
+    replans: Vec<ReplanRecord>,
+    lost_tokens: u64,
+    churn_evictions: u64,
 }
 
 /// Runs `policy` over `trace` on `cluster`/`model`; returns the report.
 pub fn run<P: Policy>(
-    mut policy: P,
+    policy: P,
     cluster: &Cluster,
     model: &ModelSpec,
     cfg: EngineConfig,
     trace: &Trace,
 ) -> RunReport {
+    run_with_churn(policy, cluster, model, cfg, trace, &[])
+}
+
+/// Runs `policy` over `trace` while injecting the deterministic cluster
+/// churn schedule `events` (see [`crate::churn`]). Devices named by a
+/// `Join` event before any failure are treated as absent at startup.
+pub fn run_with_churn<P: Policy>(
+    mut policy: P,
+    cluster: &Cluster,
+    model: &ModelSpec,
+    cfg: EngineConfig,
+    trace: &Trace,
+    events: &[ClusterEvent],
+) -> RunReport {
     let topo = policy.topology(cluster, model, &cfg);
-    let mut engine = Engine::new(policy, cluster, model, cfg, topo, trace);
+    let mut engine = Engine::new_with_churn(policy, cluster, model, cfg, topo, trace, events);
     engine.run_to_completion();
     engine.into_report()
 }
 
 impl<'a, P: Policy> Engine<'a, P> {
-    /// Builds an engine over a fixed topology and trace.
+    /// Builds an engine over a fixed topology and trace (no churn).
     pub fn new(
         policy: P,
         cluster: &'a Cluster,
@@ -126,6 +158,21 @@ impl<'a, P: Policy> Engine<'a, P> {
         cfg: EngineConfig,
         topo: Topology,
         trace: &Trace,
+    ) -> Self {
+        Self::new_with_churn(policy, cluster, model, cfg, topo, trace, &[])
+    }
+
+    /// Builds an engine that will additionally execute a churn schedule.
+    /// A device whose *first* scheduled event is `Join` starts absent
+    /// (dead), modeling capacity that arrives mid-run.
+    pub fn new_with_churn(
+        policy: P,
+        cluster: &'a Cluster,
+        model: &'a ModelSpec,
+        cfg: EngineConfig,
+        topo: Topology,
+        trace: &Trace,
+        churn: &[ClusterEvent],
     ) -> Self {
         // Weight placement from the primary stages.
         let pcfg = ParallelConfig {
@@ -156,14 +203,21 @@ impl<'a, P: Policy> Engine<'a, P> {
 
         let mut events = EventQueue::new();
         for (i, _) in trace.requests().iter().enumerate() {
-            events.schedule(SimTime::from_secs(trace.requests()[i].arrival), Event::Arrival(i));
+            events.schedule(
+                SimTime::from_secs(trace.requests()[i].arrival),
+                Event::Arrival(i),
+            );
+        }
+        for (i, ev) in churn.iter().enumerate() {
+            events.schedule(SimTime::from_secs(ev.time), Event::ClusterChange(i));
         }
         let last_arrival = trace.horizon();
         if cfg.trace_sample_period > 0.0 {
             events.schedule(SimTime::from_secs(cfg.trace_sample_period), Event::Sample);
         }
 
-        Engine {
+        let original_roles = topo.instances.iter().map(|i| i.role).collect();
+        let mut engine = Engine {
             cluster,
             model,
             jitter: SplitMix64::new(cfg.seed),
@@ -178,13 +232,37 @@ impl<'a, P: Policy> Engine<'a, P> {
             migration: MigrationStream::new(),
             trace_requests: trace.requests().to_vec(),
             last_arrival,
+            health: vec![DeviceHealth::NOMINAL; cluster.len()],
+            original_roles,
+            churn: churn.to_vec(),
+            attributed_pending: Vec::new(),
             completed: Vec::new(),
             module_samples: Vec::new(),
             trace_samples: Vec::new(),
             preemptions: 0,
             migrations: 0,
             migrated_bytes: 0.0,
+            replans: Vec::new(),
+            lost_tokens: 0,
+            churn_evictions: 0,
+        };
+        // Late joiners: a device whose first scheduled event is a Join is
+        // absent at startup.
+        let mut seen: Vec<DeviceId> = Vec::new();
+        let mut late: Vec<DeviceId> = Vec::new();
+        for ev in &engine.churn {
+            if !seen.contains(&ev.device) {
+                seen.push(ev.device);
+                if ev.kind == ClusterEventKind::Join {
+                    late.push(ev.device);
+                }
+            }
         }
+        for dev in late {
+            engine.health[dev.index()] = DeviceHealth::Dead;
+            engine.enforce_device_death(dev);
+        }
+        engine
     }
 
     /// Drives the event loop until quiescence or drain timeout.
@@ -198,8 +276,10 @@ impl<'a, P: Policy> Engine<'a, P> {
             match event {
                 Event::Arrival(i) => self.on_arrival(i),
                 Event::UbatchDone { inst, cohort } => self.on_ubatch_done(inst, cohort),
-                Event::MigrationDone { req } => self.on_migration_done(req),
+                Event::MigrationDone { req, epoch } => self.on_migration_done(req, epoch),
                 Event::Sample => self.on_sample(),
+                Event::ClusterChange(i) => self.on_cluster_change(i),
+                Event::DrainDeadline(dev) => self.on_drain_deadline(dev),
             }
         }
     }
@@ -233,6 +313,9 @@ impl<'a, P: Policy> Engine<'a, P> {
             preemptions: self.preemptions,
             migrations: self.migrations,
             migrated_bytes: self.migrated_bytes,
+            replans: self.replans,
+            lost_tokens: self.lost_tokens,
+            churn_evictions: self.churn_evictions,
         }
     }
 
@@ -240,11 +323,29 @@ impl<'a, P: Policy> Engine<'a, P> {
 
     fn on_arrival(&mut self, idx: usize) {
         let req = self.trace_requests[idx];
-        let inst = self.policy.route(&req, &ctx!(self));
-        assert!(inst < self.instances.len(), "routed to unknown instance");
+        // Route before registering the request so load-based policies do
+        // not see the arrival itself as resident load.
+        let inst = self.route_surviving(req, 0);
         self.requests.insert(req.id, RunningRequest::new(req, inst));
         self.instances[inst].waiting.enqueue(req.id);
         self.try_dispatch(inst);
+    }
+
+    /// Routes via the policy, overriding picks that land on a Down
+    /// instance (a static policy may not know about churn). When no
+    /// instance can accept work at all, the request parks on `park` —
+    /// policies are never asked to route into a fully-down cluster.
+    fn route_surviving(&mut self, req: hetis_workload::Request, park: usize) -> usize {
+        let entries = self.topo.entry_instances();
+        let Some(&fallback) = entries.first() else {
+            return park;
+        };
+        let inst = self.policy.route(&req, &ctx!(self));
+        assert!(inst < self.instances.len(), "routed to unknown instance");
+        if self.topo.instances[inst].role != InstanceRole::Down {
+            return inst;
+        }
+        fallback
     }
 
     fn on_ubatch_done(&mut self, inst: usize, cohort: usize) {
@@ -253,11 +354,20 @@ impl<'a, P: Policy> Engine<'a, P> {
             .in_flight
             .take()
             .expect("completion without in-flight microbatch");
+        let mut evicted_any = false;
         match ub.kind {
             UbatchKind::Prefill => {
                 for rid in ub.reqs {
+                    let invalidated = self.churn_invalidated(rid);
                     let r = self.requests.get_mut(&rid).expect("live request");
                     r.in_flight = false;
+                    if invalidated {
+                        // The instance died or the KV landed (partly) on a
+                        // dead device mid-flight: the prefill is lost.
+                        self.churn_evict(rid);
+                        evicted_any = true;
+                        continue;
+                    }
                     r.push_token(now);
                     if r.is_complete() {
                         self.finish(rid);
@@ -272,8 +382,14 @@ impl<'a, P: Policy> Engine<'a, P> {
             }
             UbatchKind::Decode => {
                 for rid in ub.reqs {
+                    let invalidated = self.churn_invalidated(rid);
                     let r = self.requests.get_mut(&rid).expect("live request");
                     r.in_flight = false;
+                    if invalidated {
+                        self.churn_evict(rid);
+                        evicted_any = true;
+                        continue;
+                    }
                     r.push_token(now);
                     if r.is_complete() {
                         self.finish(rid);
@@ -281,17 +397,26 @@ impl<'a, P: Policy> Engine<'a, P> {
                 }
             }
         }
-        self.try_dispatch(inst);
+        if evicted_any {
+            // Churn evictions re-home requests onto other instances, which
+            // may be idle with no scheduled events — kick them all.
+            for i in 0..self.instances.len() {
+                self.try_dispatch(i);
+            }
+        } else {
+            self.try_dispatch(inst);
+        }
     }
 
-    fn on_migration_done(&mut self, rid: RequestId) {
+    fn on_migration_done(&mut self, rid: RequestId, epoch: u32) {
         let Some(r) = self.requests.get_mut(&rid) else {
             return;
         };
-        if r.phase != Phase::Migrating {
+        if r.phase != Phase::Migrating || r.migration_epoch != epoch {
             return;
         }
         r.phase = Phase::Decoding;
+        r.migration_sources.clear();
         let inst = r.instance;
         self.ensure_cohort_member(inst, rid);
         self.try_dispatch(inst);
@@ -320,9 +445,360 @@ impl<'a, P: Policy> Engine<'a, P> {
         }
     }
 
+    // ------------------------------------------------------------- churn
+
+    fn on_cluster_change(&mut self, idx: usize) {
+        let ev = self.churn[idx].clone();
+        let now = self.clock.now().as_secs();
+        let mut record = ReplanRecord {
+            time: now,
+            event: ev.label(),
+            replan_latency: 0.0,
+            evicted: 0,
+            migrations_started: 0,
+            lost_tokens: 0,
+            replanned: false,
+        };
+        match ev.kind {
+            ClusterEventKind::Fail => {
+                if self.health[ev.device.index()] != DeviceHealth::Dead {
+                    self.health[ev.device.index()] = DeviceHealth::Dead;
+                    self.kill_device(ev.device, &mut record);
+                }
+            }
+            ClusterEventKind::PreemptNotice { notice } => {
+                if let DeviceHealth::Alive { factor } = self.health[ev.device.index()] {
+                    let deadline = now + notice.max(0.0);
+                    self.health[ev.device.index()] = DeviceHealth::Draining { deadline, factor };
+                    self.events.schedule(
+                        SimTime::from_secs(deadline),
+                        Event::DrainDeadline(ev.device),
+                    );
+                }
+            }
+            ClusterEventKind::Join => {
+                self.health[ev.device.index()] = DeviceHealth::NOMINAL;
+                self.try_revive_instances();
+                // Requests parked on instances that stayed Down can now
+                // re-route to the revived capacity.
+                self.reroute_down_instances(&mut record);
+            }
+            ClusterEventKind::Slowdown { factor } => match &mut self.health[ev.device.index()] {
+                DeviceHealth::Alive { factor: f } | DeviceHealth::Draining { factor: f, .. } => {
+                    *f = factor.max(1.0)
+                }
+                DeviceHealth::Dead => {}
+            },
+            ClusterEventKind::Restore => match &mut self.health[ev.device.index()] {
+                DeviceHealth::Alive { factor: f } | DeviceHealth::Draining { factor: f, .. } => {
+                    *f = 1.0
+                }
+                DeviceHealth::Dead => {}
+            },
+        }
+
+        // Policy hook: the topology is already pruned, health is current.
+        let health_view = HealthView::new(self.health.clone());
+        let response = self
+            .policy
+            .on_cluster_change(&ev, &health_view, &ctx!(self));
+        record.replan_latency = response.replan_latency.max(0.0);
+        if let Some(topo) = response.new_topology {
+            self.apply_replan_topology(topo);
+            record.replanned = true;
+        }
+        for op in response.migrations {
+            if self.execute_redispatch(op.req, op.new_placement) {
+                record.migrations_started += 1;
+            }
+        }
+        // Charge the re-planning stall to every serving pipeline: nothing
+        // new starts until the plan is out.
+        if record.replan_latency > 0.0 {
+            let stall_until = SimTime::from_secs(now + record.replan_latency);
+            for inst in self.instances.iter_mut() {
+                for t in inst.stage_free_at.iter_mut() {
+                    *t = (*t).max(stall_until);
+                }
+            }
+        }
+        self.replans.push(record);
+        for i in 0..self.instances.len() {
+            self.try_dispatch(i);
+        }
+    }
+
+    fn on_drain_deadline(&mut self, dev: DeviceId) {
+        // A Join may have cancelled the drain in the meantime.
+        if !matches!(self.health[dev.index()], DeviceHealth::Draining { .. }) {
+            return;
+        }
+        self.health[dev.index()] = DeviceHealth::Dead;
+        let now = self.clock.now().as_secs();
+        let mut record = ReplanRecord {
+            time: now,
+            event: format!("revoke({dev})"),
+            replan_latency: 0.0,
+            evicted: 0,
+            migrations_started: 0,
+            lost_tokens: 0,
+            replanned: false,
+        };
+        self.kill_device(dev, &mut record);
+        self.replans.push(record);
+        for i in 0..self.instances.len() {
+            self.try_dispatch(i);
+        }
+    }
+
+    /// Forced bookkeeping of a device death: prune it from worker lists,
+    /// mark instances that lost a primary as Down, and recompute-preempt
+    /// every request whose KV or placement touched it.
+    fn kill_device(&mut self, dev: DeviceId, record: &mut ReplanRecord) {
+        self.enforce_device_death(dev);
+
+        let mut affected: Vec<RequestId> = self
+            .requests
+            .iter()
+            .filter(|(_, r)| r.phase != Phase::Done && r.phase != Phase::Waiting)
+            .filter(|(rid, r)| {
+                self.kv.device(dev).request_bytes(**rid) > 0
+                    || r.placement
+                        .as_ref()
+                        .map(|p| p.devices().contains(&dev))
+                        .unwrap_or(false)
+                    || (r.phase == Phase::Migrating && r.migration_sources.contains(&dev))
+            })
+            .map(|(rid, _)| *rid)
+            .collect();
+        affected.sort();
+        for rid in affected {
+            let r = &self.requests[&rid];
+            if r.in_flight {
+                // Evicted when its microbatch completes; the loss is
+                // certain (the KV is already gone), so attribute it to
+                // this event's record now — once, even when several
+                // deaths hit the same request.
+                if !self.attributed_pending.contains(&rid) {
+                    self.attributed_pending.push(rid);
+                    record.evicted += 1;
+                    record.lost_tokens += (r.req.input_len + r.generated) as u64;
+                }
+                continue;
+            }
+            let lost = self.churn_evict(rid);
+            record.evicted += 1;
+            record.lost_tokens += lost;
+        }
+        self.reroute_down_instances(record);
+    }
+
+    /// Prunes `dev` from every attention-worker list and downs instances
+    /// whose primary TP group contains it.
+    fn enforce_device_death(&mut self, dev: DeviceId) {
+        for inst in self.topo.instances.iter_mut() {
+            for s in inst.stages.iter_mut() {
+                s.attention_workers.retain(|&d| d != dev);
+            }
+            if inst.role != InstanceRole::Down
+                && inst.stages.iter().any(|s| s.primary.devices.contains(&dev))
+            {
+                inst.role = InstanceRole::Down;
+            }
+        }
+    }
+
+    /// Moves every request parked on a Down instance to a surviving one.
+    fn reroute_down_instances(&mut self, record: &mut ReplanRecord) {
+        for i in 0..self.topo.instances.len() {
+            if self.topo.instances[i].role != InstanceRole::Down {
+                continue;
+            }
+            // Waiting queue: re-route without counting an eviction (no KV
+            // was lost).
+            let mut queued: Vec<RequestId> = Vec::new();
+            while let Some(rid) = self.instances[i].waiting.dequeue() {
+                queued.push(rid);
+            }
+            for rid in queued {
+                let inst = self.route_surviving(self.requests[&rid].req, i);
+                if inst == i {
+                    // Nowhere to go (whole cluster down): park it back.
+                    self.instances[i].waiting.enqueue(rid);
+                    continue;
+                }
+                self.requests.get_mut(&rid).expect("live").instance = inst;
+                self.instances[inst].waiting.enqueue(rid);
+            }
+            // Hand-offs blocked on this instance lose their transfer.
+            let mut pending: Vec<RequestId> = Vec::new();
+            while let Some(rid) = self.instances[i].pending_handoff.dequeue() {
+                pending.push(rid);
+            }
+            for rid in pending {
+                let lost = self.churn_evict(rid);
+                record.evicted += 1;
+                record.lost_tokens += lost;
+            }
+            // Remaining residents (decoding / migrating, not in flight).
+            let mut residents: Vec<RequestId> = self
+                .requests
+                .iter()
+                .filter(|(_, r)| {
+                    r.instance == i
+                        && !r.in_flight
+                        && matches!(r.phase, Phase::Decoding | Phase::Migrating)
+                })
+                .map(|(rid, _)| *rid)
+                .collect();
+            residents.sort();
+            for rid in residents {
+                let lost = self.churn_evict(rid);
+                record.evicted += 1;
+                record.lost_tokens += lost;
+            }
+            // In-flight residents are evicted at microbatch completion;
+            // attribute them to this record once.
+            let mut in_flight: Vec<RequestId> = self
+                .requests
+                .iter()
+                .filter(|(_, r)| r.instance == i && r.in_flight && r.phase != Phase::Done)
+                .map(|(rid, _)| *rid)
+                .collect();
+            in_flight.sort();
+            for rid in in_flight {
+                if !self.attributed_pending.contains(&rid) {
+                    self.attributed_pending.push(rid);
+                    let r = &self.requests[&rid];
+                    record.evicted += 1;
+                    record.lost_tokens += (r.req.input_len + r.generated) as u64;
+                }
+            }
+        }
+    }
+
+    /// Recompute-preempts `rid` because of churn: its KV is freed
+    /// everywhere, the lost context is accounted, and it re-queues on a
+    /// surviving instance. Returns the lost context tokens.
+    fn churn_evict(&mut self, rid: RequestId) -> u64 {
+        self.attributed_pending.retain(|&p| p != rid);
+        let r = self.requests.get_mut(&rid).expect("live");
+        assert!(!r.in_flight, "cannot churn-evict an in-flight request");
+        let lost = (r.req.input_len + r.generated) as u64;
+        let old_inst = r.instance;
+        r.preempt_recompute();
+        for d in 0..self.kv.len() {
+            self.kv.device_mut(DeviceId(d as u32)).free_request(rid);
+        }
+        self.remove_cohort_member(old_inst, rid);
+        self.preemptions += 1;
+        self.churn_evictions += 1;
+        self.lost_tokens += lost;
+        let req = self.requests[&rid].req;
+        let inst = self.route_surviving(req, old_inst);
+        self.requests.get_mut(&rid).expect("live").instance = inst;
+        self.instances[inst].waiting.enqueue(rid);
+        lost
+    }
+
+    /// After a Join: instances whose full primary group is healthy again
+    /// come back with their original role (weights are assumed to reload
+    /// during the policy's replan latency).
+    fn try_revive_instances(&mut self) {
+        for (k, inst) in self.topo.instances.iter_mut().enumerate() {
+            if inst.role == InstanceRole::Down
+                && inst.stages.iter().all(|s| {
+                    s.primary
+                        .devices
+                        .iter()
+                        .all(|&d| self.health[d.index()].accepts_kv())
+                })
+            {
+                inst.role = self.original_roles[k];
+            }
+        }
+    }
+
+    /// True when `rid` can no longer keep its KV/placement: its instance
+    /// went Down or a device of its placement died.
+    fn churn_invalidated(&self, rid: RequestId) -> bool {
+        let r = &self.requests[&rid];
+        if self.topo.instances[r.instance].role == InstanceRole::Down {
+            return true;
+        }
+        r.placement
+            .as_ref()
+            .map(|p| {
+                p.devices()
+                    .iter()
+                    .any(|&d| !self.health[d.index()].is_serving())
+            })
+            .unwrap_or(false)
+    }
+
+    /// Installs a policy-supplied replan topology. Primary stages of every
+    /// instance must be unchanged (weights cannot teleport); roles stay
+    /// engine-owned; worker lists are sanitized against health.
+    fn apply_replan_topology(&mut self, mut new: Topology) {
+        assert_eq!(
+            new.instances.len(),
+            self.topo.instances.len(),
+            "replan cannot change the instance count"
+        );
+        for (k, (old_i, new_i)) in self
+            .topo
+            .instances
+            .iter()
+            .zip(new.instances.iter_mut())
+            .enumerate()
+        {
+            assert_eq!(
+                old_i.stages.len(),
+                new_i.stages.len(),
+                "replan cannot change pipeline depth (instance {k})"
+            );
+            for (old_s, new_s) in old_i.stages.iter().zip(new_i.stages.iter_mut()) {
+                assert_eq!(
+                    old_s.primary, new_s.primary,
+                    "replan must preserve primary stages (instance {k})"
+                );
+                new_s
+                    .attention_workers
+                    .retain(|&d| self.health[d.index()].accepts_kv());
+            }
+            new_i.role = old_i.role;
+        }
+        self.topo = new;
+    }
+
+    /// Slowdown factor of a stage's primary TP group (prefill path).
+    fn primary_slow_factor(&self, inst: usize, s: usize) -> f64 {
+        self.topo.instances[inst].stages[s]
+            .primary
+            .devices
+            .iter()
+            .map(|&d| self.health[d.index()].factor())
+            .fold(1.0, f64::max)
+    }
+
+    /// Slowdown factor of a decode stage: primaries plus every device
+    /// actually carrying attention work this iteration.
+    fn decode_slow_factor(&self, inst: usize, s: usize, loads: &[AttnLoad]) -> f64 {
+        let mut f = self.primary_slow_factor(inst, s);
+        for l in loads {
+            if l.work.query_heads > 0.0 {
+                f = f.max(self.health[l.device.index()].factor());
+            }
+        }
+        f
+    }
+
     // ---------------------------------------------------------- dispatch
 
     fn try_dispatch(&mut self, inst: usize) {
+        if self.topo.instances[inst].role == InstanceRole::Down {
+            return;
+        }
         self.drain_pending_handoffs(inst);
 
         // Re-dispatch hook (Hetis §5.3) before forming decode batches.
@@ -349,13 +825,17 @@ impl<'a, P: Policy> Engine<'a, P> {
             .values()
             .filter(|r| {
                 r.instance == inst
-                    && matches!(r.phase, Phase::Prefilling | Phase::Decoding | Phase::Migrating)
+                    && matches!(
+                        r.phase,
+                        Phase::Prefilling | Phase::Decoding | Phase::Migrating
+                    )
             })
             .count()
     }
 
     fn try_form_prefill(&mut self, inst: usize, cohort: usize) -> bool {
-        if self.topo.instances[inst].role == InstanceRole::DecodeOnly {
+        let role = self.topo.instances[inst].role;
+        if role == InstanceRole::DecodeOnly || role == InstanceRole::Down {
             return false;
         }
         if self.instances[inst].waiting.is_empty() {
@@ -369,10 +849,7 @@ impl<'a, P: Policy> Engine<'a, P> {
         // Pull admission candidates under the token budget.
         let mut candidates: Vec<RequestId> = Vec::new();
         let mut tokens = 0u64;
-        loop {
-            let Some(&rid) = self.instances[inst].waiting.peek() else {
-                break;
-            };
+        while let Some(&rid) = self.instances[inst].waiting.peek() {
             let eff = self.requests[&rid].effective_input as u64;
             if !candidates.is_empty()
                 && (tokens + eff > self.cfg.max_batch_tokens
@@ -434,26 +911,33 @@ impl<'a, P: Policy> Engine<'a, P> {
         }
 
         // Walk the pipeline.
-        let done = self.schedule_pipeline(inst, |engine, s, lm_head| {
-            prefill_stage_breakdown(
-                engine.cluster,
-                engine.model,
-                &engine.topo.instances[inst].stages[s],
-                &batch,
-                lm_head,
-            )
-        }, batch.tokens);
+        let done = self.schedule_pipeline(
+            inst,
+            |engine, s, lm_head| {
+                let b = prefill_stage_breakdown(
+                    engine.cluster,
+                    engine.model,
+                    &engine.topo.instances[inst].stages[s],
+                    &batch,
+                    lm_head,
+                );
+                scale_breakdown(b, engine.primary_slow_factor(inst, s))
+            },
+            batch.tokens,
+        );
 
         self.instances[inst].cohorts[cohort].in_flight = Some(Ubatch {
             kind: UbatchKind::Prefill,
             reqs: admitted,
         });
-        self.events.schedule(done, Event::UbatchDone { inst, cohort });
+        self.events
+            .schedule(done, Event::UbatchDone { inst, cohort });
         true
     }
 
     fn try_form_decode(&mut self, inst: usize, cohort: usize) -> bool {
-        if self.topo.instances[inst].role == InstanceRole::PrefillOnly {
+        let role = self.topo.instances[inst].role;
+        if role == InstanceRole::PrefillOnly || role == InstanceRole::Down {
             return false;
         }
         let ready: Vec<RequestId> = self.instances[inst].cohorts[cohort]
@@ -524,19 +1008,24 @@ impl<'a, P: Policy> Engine<'a, P> {
         let dense_tokens = batch.len() as u64;
         let mut max_mlp = 0.0_f64;
         let mut max_attn = 0.0_f64;
-        let done = self.schedule_pipeline(inst, |engine, s, lm_head| {
-            let b = decode_stage_breakdown(
-                engine.cluster,
-                engine.model,
-                &engine.topo.instances[inst].stages[s],
-                dense_tokens,
-                &stage_loads[s],
-                lm_head,
-            );
-            max_mlp = max_mlp.max(b.mlp);
-            max_attn = max_attn.max(b.attn);
-            b
-        }, dense_tokens);
+        let done = self.schedule_pipeline(
+            inst,
+            |engine, s, lm_head| {
+                let b = decode_stage_breakdown(
+                    engine.cluster,
+                    engine.model,
+                    &engine.topo.instances[inst].stages[s],
+                    dense_tokens,
+                    &stage_loads[s],
+                    lm_head,
+                );
+                let b = scale_breakdown(b, engine.decode_slow_factor(inst, s, &stage_loads[s]));
+                max_mlp = max_mlp.max(b.mlp);
+                max_attn = max_attn.max(b.attn);
+                b
+            },
+            dense_tokens,
+        );
 
         self.module_samples.push(ModuleSample {
             time: self.clock.now().as_secs(),
@@ -548,7 +1037,8 @@ impl<'a, P: Policy> Engine<'a, P> {
             kind: UbatchKind::Decode,
             reqs: for_flight,
         });
-        self.events.schedule(done, Event::UbatchDone { inst, cohort });
+        self.events
+            .schedule(done, Event::UbatchDone { inst, cohort });
         true
     }
 
@@ -586,7 +1076,7 @@ impl<'a, P: Policy> Engine<'a, P> {
                     }
                 }
                 let bytes = (tokens * self.model.hidden_state_bytes_per_token()) as f64;
-                arrive = arrive + worst.time(bytes);
+                arrive += worst.time(bytes);
             }
         }
         arrive
@@ -600,9 +1090,14 @@ impl<'a, P: Policy> Engine<'a, P> {
         let r = &self.requests[&rid];
         let tokens = r.effective_input;
         let gqa = self.model.gqa_ratio();
+        if placement.validate(self.model.num_heads, gqa).is_err() {
+            return false;
+        }
+        // Churn guard: dead or draining devices accept no new KV.
         if placement
-            .validate(self.model.num_heads, gqa)
-            .is_err()
+            .devices()
+            .iter()
+            .any(|&d| !self.health[d.index()].accepts_kv())
         {
             return false;
         }
@@ -750,6 +1245,13 @@ impl<'a, P: Policy> Engine<'a, P> {
         if grows.is_empty() && shrinks.is_empty() {
             return false;
         }
+        // Churn guard: never grow KV onto a dead or draining device.
+        if grows
+            .iter()
+            .any(|&(d, ..)| !self.health[d.index()].accepts_kv())
+        {
+            return false;
+        }
 
         // All-or-nothing: allocate grows first.
         let mut applied: Vec<(DeviceId, u16, u32)> = Vec::new();
@@ -776,26 +1278,27 @@ impl<'a, P: Policy> Engine<'a, P> {
             let layers = self.topo.instances[inst].stages[s as usize].primary.layers;
             let bytes = self.kv.device(src).bytes_needed(g, tokens, layers) as f64;
             self.kv.device_mut(src).shrink_groups(rid, s, g);
-            let dst = grow_iter
-                .next()
-                .map(|&(d, ..)| d)
-                .unwrap_or(src);
+            let dst = grow_iter.next().map(|&(d, ..)| d).unwrap_or(src);
             let link = self.cluster.link(src, dst);
-            let done = self
-                .migration
-                .schedule(src.0, dst.0, link, bytes, now);
+            let done = self.migration.schedule(src.0, dst.0, link, bytes, now);
             finish = finish.max(done);
             moved_bytes += bytes;
         }
 
+        let sources: Vec<DeviceId> = shrinks.iter().map(|&(d, ..)| d).collect();
         let r = self.requests.get_mut(&rid).expect("live");
         r.placement = Some(new_placement);
         r.phase = Phase::Migrating;
         r.redispatches += 1;
+        r.migration_sources = sources;
+        r.migration_epoch += 1;
+        let epoch = r.migration_epoch;
         self.migrations += 1;
         self.migrated_bytes += moved_bytes;
-        self.events
-            .schedule(SimTime::from_secs(finish.max(now)), Event::MigrationDone { req: rid });
+        self.events.schedule(
+            SimTime::from_secs(finish.max(now)),
+            Event::MigrationDone { req: rid, epoch },
+        );
         true
     }
 
@@ -804,7 +1307,7 @@ impl<'a, P: Policy> Engine<'a, P> {
     /// Splitwise-style hand-off: move the whole KV to `target`.
     fn start_handoff(&mut self, rid: RequestId, target: usize) {
         // Try immediately; park in the target's hand-off queue otherwise.
-        if !self.try_start_handoff_transfer(rid, target) {
+        if !self.try_start_handoff_transfer(rid, target, false) {
             let r = self.requests.get_mut(&rid).expect("live");
             r.phase = Phase::Migrating; // blocked, holding source KV
             self.instances[target].pending_handoff.enqueue(rid);
@@ -812,20 +1315,34 @@ impl<'a, P: Policy> Engine<'a, P> {
     }
 
     fn drain_pending_handoffs(&mut self, target: usize) {
-        loop {
-            let Some(&rid) = self.instances[target].pending_handoff.peek() else {
-                return;
-            };
-            if self.try_start_handoff_transfer(rid, target) {
-                self.instances[target].pending_handoff.dequeue();
-            } else {
+        while let Some(&rid) = self.instances[target].pending_handoff.peek() {
+            if !self.try_start_handoff_transfer(rid, target, true) {
                 return;
             }
+            self.instances[target].pending_handoff.dequeue();
         }
     }
 
     /// Attempts allocation on the target and schedules the bulk transfer.
-    fn try_start_handoff_transfer(&mut self, rid: RequestId, target: usize) -> bool {
+    /// `from_queue` marks retries popped from the pending-handoff queue,
+    /// whose entry may be stale (the request was churn-evicted and
+    /// possibly re-admitted elsewhere since it parked).
+    fn try_start_handoff_transfer(
+        &mut self,
+        rid: RequestId,
+        target: usize,
+        from_queue: bool,
+    ) -> bool {
+        if from_queue {
+            let r = &self.requests[&rid];
+            // Only a parked hand-off (Migrating, idle, placed) may
+            // proceed; anything else is a stale entry — drop it.
+            if r.phase != Phase::Migrating || r.in_flight || r.placement.is_none() {
+                return true;
+            }
+        } else if self.requests[&rid].placement.is_none() {
+            return true;
+        }
         let ctx_tokens = {
             let r = &self.requests[&rid];
             r.effective_input + (r.generated.saturating_sub(0))
@@ -882,8 +1399,13 @@ impl<'a, P: Policy> Engine<'a, P> {
         self.migrated_bytes += src_bytes;
         let r = self.requests.get_mut(&rid).expect("live");
         r.phase = Phase::Migrating;
-        self.events
-            .schedule(SimTime::from_secs(done), Event::MigrationDone { req: rid });
+        r.migration_sources = vec![src_anchor];
+        r.migration_epoch += 1;
+        let epoch = r.migration_epoch;
+        self.events.schedule(
+            SimTime::from_secs(done),
+            Event::MigrationDone { req: rid, epoch },
+        );
         true
     }
 
@@ -916,10 +1438,20 @@ impl<'a, P: Policy> Engine<'a, P> {
         r.cohort = cohort;
         if scattered > 0.0 {
             r.phase = Phase::Migrating;
+            r.migration_sources = placement
+                .per_stage
+                .iter()
+                .enumerate()
+                .map(|(s, _)| self.topo.instances[inst].stages[s].primary.devices[0])
+                .collect();
+            r.migration_epoch += 1;
+            let epoch = r.migration_epoch;
             self.migrations += 1;
             self.migrated_bytes += scattered;
-            self.events
-                .schedule(SimTime::from_secs(finish), Event::MigrationDone { req: rid });
+            self.events.schedule(
+                SimTime::from_secs(finish),
+                Event::MigrationDone { req: rid, epoch },
+            );
         } else {
             r.phase = Phase::Decoding;
             self.ensure_cohort_member(inst, rid);
@@ -951,28 +1483,25 @@ impl<'a, P: Policy> Engine<'a, P> {
     }
 
     fn ensure_cohort_member(&mut self, inst: usize, rid: RequestId) {
-        let cohort = self.requests[&rid].cohort.min(
-            self.instances[inst].cohorts.len().saturating_sub(1),
-        );
+        let cohort = self.requests[&rid]
+            .cohort
+            .min(self.instances[inst].cohorts.len().saturating_sub(1));
         // If unassigned to a live cohort (hand-off), pick the emptiest.
-        let target = if self.instances[inst].cohorts[cohort].members.contains(&rid) {
-            return;
-        } else if self.requests[&rid].instance == inst
-            && self.instances[inst]
-                .cohorts
-                .iter()
-                .any(|c| c.members.contains(&rid))
+        if self.instances[inst].cohorts[cohort].members.contains(&rid)
+            || (self.requests[&rid].instance == inst
+                && self.instances[inst]
+                    .cohorts
+                    .iter()
+                    .any(|c| c.members.contains(&rid)))
         {
             return;
-        } else {
-            let (best, _) = self.instances[inst]
-                .cohorts
-                .iter()
-                .enumerate()
-                .min_by_key(|(i, c)| (c.members.len(), *i))
-                .expect("instance has cohorts");
-            best
-        };
+        }
+        let (target, _) = self.instances[inst]
+            .cohorts
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, c)| (c.members.len(), *i))
+            .expect("instance has cohorts");
         self.requests.get_mut(&rid).expect("live").cohort = target;
         self.instances[inst].cohorts[target].members.push(rid);
     }
@@ -990,8 +1519,7 @@ impl<'a, P: Policy> Engine<'a, P> {
 
     /// Diagnostic: per-instance (phase → count) summary of live requests.
     pub fn phase_summary(&self) -> Vec<HashMap<&'static str, usize>> {
-        let mut out: Vec<HashMap<&'static str, usize>> =
-            vec![HashMap::new(); self.instances.len()];
+        let mut out: Vec<HashMap<&'static str, usize>> = vec![HashMap::new(); self.instances.len()];
         for r in self.requests.values() {
             let name = match r.phase {
                 Phase::Waiting => "waiting",
@@ -1003,6 +1531,20 @@ impl<'a, P: Policy> Engine<'a, P> {
             *out[r.instance].entry(name).or_insert(0) += 1;
         }
         out
+    }
+}
+
+/// Dilates a stage breakdown by a device slowdown factor.
+fn scale_breakdown(b: StageBreakdown, factor: f64) -> StageBreakdown {
+    if factor <= 1.0 {
+        return b;
+    }
+    StageBreakdown {
+        proj: b.proj * factor,
+        mlp: b.mlp * factor,
+        attn: b.attn * factor,
+        comm: b.comm * factor,
+        total: b.total * factor,
     }
 }
 

@@ -21,6 +21,7 @@
 //! execution and accounting, policies own decisions (topology, routing,
 //! placement, re-dispatch, victim selection).
 
+pub mod churn;
 pub mod config;
 pub mod engine;
 pub mod memory;
@@ -30,8 +31,11 @@ pub mod request;
 pub mod stage;
 pub mod topology;
 
+pub use churn::{
+    ClusterEvent, ClusterEventKind, DeviceHealth, HealthView, ReplanRecord, ReplanResponse,
+};
 pub use config::EngineConfig;
-pub use engine::{run, Engine};
+pub use engine::{run, run_with_churn, Engine};
 pub use memory::{DeviceKv, KvState};
 pub use metrics::{ModuleSample, RunReport, TraceSample};
 pub use policy::{Handoff, Policy, PolicyCtx, RedispatchOp, VictimAction};

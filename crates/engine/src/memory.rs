@@ -255,8 +255,7 @@ impl KvState {
         block_size: u32,
         weights: &HashMap<DeviceId, u64>,
     ) -> Result<KvState, String> {
-        let block_unit =
-            block_size as u64 * 2 * model.head_dim * model.dtype.bytes();
+        let block_unit = block_size as u64 * 2 * model.head_dim * model.dtype.bytes();
         let mut devices = Vec::with_capacity(cluster.len());
         for d in cluster.devices() {
             let mut ledger = MemoryLedger::new(d.spec.mem_bytes);
@@ -319,16 +318,12 @@ impl KvState {
 /// bytes, `P_s` its primary pool and `W` the shared worker pool.
 /// Prefill-only instances contribute nothing (their pools never hold
 /// decode working set) — Fig. 1a's replicated-parameter cost.
-pub fn usable_kv_bytes(
-    model: &ModelSpec,
-    topo: &crate::topology::Topology,
-    kv: &KvState,
-) -> u64 {
+pub fn usable_kv_bytes(model: &ModelSpec, topo: &crate::topology::Topology, kv: &KvState) -> u64 {
     use crate::topology::InstanceRole;
     let per_layer = hetis_model::KvFootprint::new(model).bytes_per_token_per_layer();
     let mut usable = 0u64;
     for inst in &topo.instances {
-        if inst.role == InstanceRole::PrefillOnly {
+        if inst.role == InstanceRole::PrefillOnly || inst.role == InstanceRole::Down {
             continue;
         }
         let primary_pools: Vec<u64> = inst
@@ -456,7 +451,9 @@ mod tests {
         let free = s.device(p100).free_bytes();
         // An allocation bigger than the pool fails cleanly.
         let need_groups = (free / (16 * 2 * 128 * 2) / 80 + 2) as u32;
-        let res = s.device_mut(p100).allocate(RequestId(1), 0, need_groups, 16, 80);
+        let res = s
+            .device_mut(p100)
+            .allocate(RequestId(1), 0, need_groups, 16, 80);
         assert!(res.is_err());
         assert_eq!(s.device(p100).used_bytes(), 0);
         assert_eq!(s.device(p100).free_bytes(), free);
@@ -466,9 +463,15 @@ mod tests {
     fn resident_bookkeeping() {
         let mut s = state();
         let d = DeviceId(4);
-        s.device_mut(d).allocate(RequestId(1), 0, 2, 50, 40).unwrap();
-        s.device_mut(d).allocate(RequestId(2), 0, 4, 30, 40).unwrap();
-        s.device_mut(d).allocate(RequestId(1), 1, 1, 50, 40).unwrap();
+        s.device_mut(d)
+            .allocate(RequestId(1), 0, 2, 50, 40)
+            .unwrap();
+        s.device_mut(d)
+            .allocate(RequestId(2), 0, 4, 30, 40)
+            .unwrap();
+        s.device_mut(d)
+            .allocate(RequestId(1), 1, 1, 50, 40)
+            .unwrap();
         assert_eq!(
             s.device(d).resident_requests(),
             vec![RequestId(1), RequestId(2)]

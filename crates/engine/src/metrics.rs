@@ -103,12 +103,23 @@ pub struct RunReport {
     pub migrations: u64,
     /// Bytes moved by migrations.
     pub migrated_bytes: f64,
+    /// One record per executed cluster-change event (empty without churn).
+    pub replans: Vec<crate::churn::ReplanRecord>,
+    /// Context tokens whose KV was destroyed by churn and had to be
+    /// re-prefilled (the "lost work" of preemptions).
+    pub lost_tokens: u64,
+    /// Recompute preemptions forced by cluster churn (subset of
+    /// `preemptions`).
+    pub churn_evictions: u64,
 }
 
 impl RunReport {
     /// Normalized latencies of all completed requests.
     pub fn normalized_latencies(&self) -> Vec<f64> {
-        self.completed.iter().map(|c| c.normalized_latency()).collect()
+        self.completed
+            .iter()
+            .map(|c| c.normalized_latency())
+            .collect()
     }
 
     /// Mean normalized latency (s/token); +inf when nothing completed —
@@ -134,6 +145,55 @@ impl RunReport {
             .filter(|c| c.output_len > 1)
             .map(|c| c.tpot())
             .collect()
+    }
+
+    /// P99 normalized latency (s/token) — the churn scenarios' headline
+    /// tail metric; +inf when nothing completed.
+    pub fn p99_normalized_latency(&self) -> f64 {
+        percentile(&self.normalized_latencies(), 99.0).unwrap_or(f64::INFINITY)
+    }
+
+    /// Total simulated seconds spent re-planning across all cluster
+    /// events.
+    pub fn total_replan_latency(&self) -> f64 {
+        self.replans.iter().map(|r| r.replan_latency).sum()
+    }
+
+    /// Bit-stable fingerprint of the run, for determinism assertions:
+    /// same seed + same scenario ⇒ identical digest. Folds every
+    /// completed request's exact times (via `f64::to_bits`), the churn
+    /// records, and the headline counters into an FNV-1a hash.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |x: u64| {
+            for b in x.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        fold(self.completed.len() as u64);
+        for c in &self.completed {
+            fold(c.id.0);
+            fold(c.arrival.to_bits());
+            fold(c.first_token.to_bits());
+            fold(c.completion.to_bits());
+            fold(c.preemptions as u64);
+            fold(c.redispatches as u64);
+        }
+        fold(self.unfinished as u64);
+        fold(self.preemptions);
+        fold(self.migrations);
+        fold(self.migrated_bytes.to_bits());
+        fold(self.lost_tokens);
+        fold(self.churn_evictions);
+        fold(self.replans.len() as u64);
+        for r in &self.replans {
+            fold(r.time.to_bits());
+            fold(r.event.len() as u64);
+            fold(r.replan_latency.to_bits());
+            fold(r.evicted as u64);
+            fold(r.lost_tokens);
+        }
+        h
     }
 
     /// P95 TTFT.
@@ -232,6 +292,9 @@ mod tests {
             preemptions: 0,
             migrations: 0,
             migrated_bytes: 0.0,
+            replans: vec![],
+            lost_tokens: 0,
+            churn_evictions: 0,
         }
     }
 

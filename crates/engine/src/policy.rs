@@ -108,6 +108,20 @@ pub trait Policy {
         blocked: RequestId,
         ctx: &PolicyCtx<'_>,
     ) -> VictimAction;
+
+    /// Called after the engine applied a cluster-change event (`health`
+    /// already reflects it, dead devices are already pruned from
+    /// attention-worker lists and lost instances marked `Down`). Return a
+    /// [`ReplanResponse`] to re-plan the topology and/or drain KV off
+    /// draining devices; the default does nothing (a static system).
+    fn on_cluster_change(
+        &mut self,
+        _event: &crate::churn::ClusterEvent,
+        _health: &crate::churn::HealthView,
+        _ctx: &PolicyCtx<'_>,
+    ) -> crate::churn::ReplanResponse {
+        crate::churn::ReplanResponse::default()
+    }
 }
 
 /// The simplest complete policy: a fixed topology, round-robin routing,

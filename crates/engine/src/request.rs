@@ -1,6 +1,7 @@
 //! Runtime request state inside the engine.
 
 use crate::topology::HeadPlacement;
+use hetis_cluster::DeviceId;
 use hetis_workload::Request;
 
 /// Lifecycle phase of a request.
@@ -48,6 +49,13 @@ pub struct RunningRequest {
     pub preemptions: u32,
     /// Number of re-dispatches applied (stats).
     pub redispatches: u32,
+    /// Incremented whenever a KV transfer is scheduled for this request;
+    /// completion events carry the epoch they belong to, so transfers
+    /// aborted by churn cannot resume the request early.
+    pub migration_epoch: u32,
+    /// Devices the in-flight KV transfer reads from (empty when no
+    /// transfer is running); a death of any of them aborts the transfer.
+    pub migration_sources: Vec<DeviceId>,
 }
 
 impl RunningRequest {
@@ -66,6 +74,8 @@ impl RunningRequest {
             in_flight: false,
             preemptions: 0,
             redispatches: 0,
+            migration_epoch: 0,
+            migration_sources: Vec::new(),
         }
     }
 
@@ -101,6 +111,7 @@ impl RunningRequest {
         self.placement = None;
         self.in_flight = false;
         self.preemptions += 1;
+        self.migration_sources.clear();
     }
 }
 

@@ -238,7 +238,13 @@ mod tests {
         })
     }
 
-    fn local_loads(_c: &Cluster, stage: &StageTopo, m: &ModelSpec, seqs: u64, ctx: u64) -> Vec<AttnLoad> {
+    fn local_loads(
+        _c: &Cluster,
+        stage: &StageTopo,
+        m: &ModelSpec,
+        seqs: u64,
+        ctx: u64,
+    ) -> Vec<AttnLoad> {
         let costs = ModuleCosts::new(m);
         let tp = stage.primary.tp() as f64;
         stage
@@ -304,7 +310,12 @@ mod tests {
             }],
             false,
         );
-        assert!(remote.attn > local.attn, "{} vs {}", remote.attn, local.attn);
+        assert!(
+            remote.attn > local.attn,
+            "{} vs {}",
+            remote.attn,
+            local.attn
+        );
     }
 
     #[test]

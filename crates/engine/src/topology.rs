@@ -14,6 +14,10 @@ pub enum InstanceRole {
     PrefillOnly,
     /// Decode-only (Splitwise's low-end pool).
     DecodeOnly,
+    /// Out of service: a device of its primary TP group died (cluster
+    /// churn). Down instances schedule nothing and accept no routes; a
+    /// later `Join` of the lost device may revive them.
+    Down,
 }
 
 /// One pipeline stage of an instance: the primary TP group plus any
@@ -75,7 +79,7 @@ impl Topology {
             .instances
             .iter()
             .enumerate()
-            .filter(|(_, i)| i.role != InstanceRole::DecodeOnly)
+            .filter(|(_, i)| i.role != InstanceRole::DecodeOnly && i.role != InstanceRole::Down)
             .map(|(k, _)| k)
             .collect();
         prefill
@@ -151,7 +155,9 @@ impl HeadPlacement {
                     return Err(format!("stage {s}: zero-head entry on {d}"));
                 }
                 if h % r != 0 {
-                    return Err(format!("stage {s}: {h} heads on {d} not a multiple of r={r}"));
+                    return Err(format!(
+                        "stage {s}: {h} heads on {d} not a multiple of r={r}"
+                    ));
                 }
             }
         }

@@ -2,8 +2,8 @@
 
 use hetis_cluster::cluster::paper_cluster;
 use hetis_cluster::GpuType;
-use hetis_engine::{run, EngineConfig, InstanceRole, InstanceTopo, StageTopo, Topology};
 use hetis_engine::policy::StaticPolicy;
+use hetis_engine::{run, EngineConfig, InstanceRole, InstanceTopo, StageTopo, Topology};
 use hetis_model::{llama_13b, opt_2_7b};
 use hetis_parallel::StageConfig;
 use hetis_workload::{DatasetKind, Poisson, TraceBuilder};
@@ -55,7 +55,12 @@ fn low_rate_completes_everything() {
         EngineConfig::default(),
         &trace,
     );
-    assert_eq!(report.completed.len(), n, "unfinished: {}", report.unfinished);
+    assert_eq!(
+        report.completed.len(),
+        n,
+        "unfinished: {}",
+        report.unfinished
+    );
     assert_eq!(report.unfinished, 0);
     // Basic metric sanity.
     for c in &report.completed {
@@ -165,9 +170,17 @@ fn memory_pressure_triggers_preemption_but_progresses() {
     // Heavy ShareGPT load: the P100's ~6 GB pool fills from concurrency
     // well before the backlog drains.
     let trace = TraceBuilder::new(DatasetKind::ShareGpt, 7).build(&Poisson::new(4.0), 30.0);
-    let mut cfg = EngineConfig::default();
-    cfg.drain_timeout = 900.0;
-    let report = run(StaticPolicy::new("vllm-p100", topo), &cluster, &model, cfg, &trace);
+    let cfg = EngineConfig {
+        drain_timeout: 900.0,
+        ..EngineConfig::default()
+    };
+    let report = run(
+        StaticPolicy::new("vllm-p100", topo),
+        &cluster,
+        &model,
+        cfg,
+        &trace,
+    );
     assert!(
         report.completion_rate() > 0.7,
         "completed {}/{}",
@@ -175,7 +188,10 @@ fn memory_pressure_triggers_preemption_but_progresses() {
         report.completed.len() + report.unfinished
     );
     // With a pool this small and 6k-token contexts, preemption is expected.
-    assert!(report.preemptions > 0, "expected preemptions under pressure");
+    assert!(
+        report.preemptions > 0,
+        "expected preemptions under pressure"
+    );
 }
 
 #[test]
@@ -186,8 +202,10 @@ fn saturation_blows_up_latency() {
     let model = llama_13b();
     let low = TraceBuilder::new(DatasetKind::ShareGpt, 9).build(&Poisson::new(1.0), 30.0);
     let high = TraceBuilder::new(DatasetKind::ShareGpt, 9).build(&Poisson::new(40.0), 30.0);
-    let mut cfg = EngineConfig::default();
-    cfg.drain_timeout = 120.0;
+    let cfg = EngineConfig {
+        drain_timeout: 120.0,
+        ..EngineConfig::default()
+    };
     let r_low = run(
         StaticPolicy::new("vllm", a100_tp4_topo()),
         &cluster,

@@ -77,8 +77,10 @@ fn trace_sampling_covers_the_run() {
     let cluster = paper_cluster();
     let model = llama_13b();
     let trace = TraceBuilder::new(DatasetKind::ShareGpt, 5).build(&Poisson::new(3.0), 12.0);
-    let mut cfg = EngineConfig::default();
-    cfg.trace_sample_period = 0.5;
+    let cfg = EngineConfig {
+        trace_sample_period: 0.5,
+        ..EngineConfig::default()
+    };
     let report = run(
         StaticPolicy::new("vllm", a100_topo()),
         &cluster,
@@ -187,7 +189,12 @@ fn prefill_only_instance_never_decodes() {
         EngineConfig::default(),
         &trace,
     );
-    assert_eq!(report.completed.len(), n, "unfinished {}", report.unfinished);
+    assert_eq!(
+        report.completed.len(),
+        n,
+        "unfinished {}",
+        report.unfinished
+    );
     // Every request migrated exactly once (the hand-off).
     assert!(report.migrations as usize >= n);
 }

@@ -131,7 +131,7 @@ impl HeadwiseAllocator {
         let mut need = 0u32;
         for &g in &groups {
             let t = &self.tables[&(seq, g)];
-            if t.tokens % self.config.block_size == 0 || t.blocks.is_empty() {
+            if t.tokens.is_multiple_of(self.config.block_size) || t.blocks.is_empty() {
                 need += 1;
             }
         }
@@ -143,7 +143,7 @@ impl HeadwiseAllocator {
         }
         for &g in &groups {
             let t = self.tables.get_mut(&(seq, g)).expect("present");
-            if t.tokens % self.config.block_size == 0 || t.blocks.is_empty() {
+            if t.tokens.is_multiple_of(self.config.block_size) || t.blocks.is_empty() {
                 t.blocks.push(self.free.pop().expect("checked"));
                 self.store_ops += 1;
             }
@@ -229,7 +229,8 @@ mod tests {
     fn partial_residency() {
         let mut a = alloc(100);
         // Request 1 keeps groups 0..4 here; groups 4..8 live elsewhere.
-        a.allocate_groups(SeqId(1), &groups(&[0, 1, 2, 3]), 40).unwrap();
+        a.allocate_groups(SeqId(1), &groups(&[0, 1, 2, 3]), 40)
+            .unwrap();
         assert_eq!(a.used_blocks(), 4 * 3);
         assert_eq!(a.groups_of(SeqId(1)).len(), 4);
         assert_eq!(a.tokens_of(SeqId(1), GroupId(0)), Some(40));
@@ -251,7 +252,8 @@ mod tests {
     #[test]
     fn append_all_or_nothing_on_exhaustion() {
         let mut a = alloc(3);
-        a.allocate_groups(SeqId(1), &groups(&[0, 1, 2]), 16).unwrap();
+        a.allocate_groups(SeqId(1), &groups(&[0, 1, 2]), 16)
+            .unwrap();
         assert_eq!(a.free_blocks(), 0);
         let err = a.append_token_all_groups(SeqId(1)).unwrap_err();
         assert_eq!(err.requested, 3);
@@ -264,7 +266,8 @@ mod tests {
     #[test]
     fn free_group_releases_only_that_group() {
         let mut a = alloc(100);
-        a.allocate_groups(SeqId(1), &groups(&[0, 1, 2]), 32).unwrap();
+        a.allocate_groups(SeqId(1), &groups(&[0, 1, 2]), 32)
+            .unwrap();
         let released = a.free_group(SeqId(1), GroupId(1));
         assert_eq!(released, 2);
         assert_eq!(a.used_blocks(), 4);
@@ -278,7 +281,9 @@ mod tests {
     #[test]
     fn allocation_atomic_on_failure() {
         let mut a = alloc(5);
-        let err = a.allocate_groups(SeqId(1), &groups(&[0, 1, 2]), 32).unwrap_err();
+        let err = a
+            .allocate_groups(SeqId(1), &groups(&[0, 1, 2]), 32)
+            .unwrap_err();
         assert_eq!(err.requested, 6);
         assert_eq!(a.free_blocks(), 5);
         assert!(a.groups_of(SeqId(1)).is_empty());

@@ -102,7 +102,8 @@ mod tests {
         let groups: Vec<GroupId> = (0..8).map(GroupId).collect();
         let mut items = Vec::new();
         for s in 0..50u64 {
-            a.allocate_groups(SeqId(s), &groups, 50 + (s as u32 % 64)).unwrap();
+            a.allocate_groups(SeqId(s), &groups, 50 + (s as u32 % 64))
+                .unwrap();
             for &g in &groups {
                 items.push((SeqId(s), g));
             }

@@ -118,7 +118,8 @@ impl PagedAllocator {
     pub fn append_token(&mut self, seq: SeqId) -> Result<(), AllocError> {
         let free_now = self.free_blocks();
         let table = self.tables.get_mut(&seq).expect("unknown sequence");
-        let need_block = table.tokens % self.config.block_size == 0 && self.config.block_size > 0;
+        let need_block =
+            table.tokens.is_multiple_of(self.config.block_size) && self.config.block_size > 0;
         // A full table (tokens exactly filling blocks) needs a new block
         // for the next token; a fresh empty table too.
         let need_block = need_block || table.blocks.is_empty();

@@ -206,7 +206,10 @@ mod tests {
             let mut coeffs = vec![0.0; nv];
             coeffs[i] = a;
             coeffs[n + i] = bb;
-            b.add_max_term(AffineExpr { constant: c, coeffs });
+            b.add_max_term(AffineExpr {
+                constant: c,
+                coeffs,
+            });
             let mut cap = vec![0.0; nv];
             cap[n + i] = 1.0;
             b.add_constraint(cap, ConstraintOp::Le, 1.0);

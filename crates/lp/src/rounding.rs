@@ -17,7 +17,7 @@ pub fn round_to_groups(x: &[f64], r: u32, total: u32, cap: &[u32]) -> Option<Vec
     assert_eq!(x.len(), cap.len());
     assert!(r > 0);
     assert!(
-        total % r == 0,
+        total.is_multiple_of(r),
         "total heads {total} not a multiple of group ratio {r}"
     );
     let groups_needed = total / r;

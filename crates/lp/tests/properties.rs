@@ -1,8 +1,6 @@
 //! Property-based tests for the LP solver and head rounding.
 
-use hetis_lp::{
-    round_to_groups, AffineExpr, ConstraintOp, LinearProgram, MinMaxBuilder,
-};
+use hetis_lp::{round_to_groups, AffineExpr, ConstraintOp, LinearProgram, MinMaxBuilder};
 use proptest::prelude::*;
 
 proptest! {

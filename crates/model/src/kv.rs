@@ -55,7 +55,7 @@ impl<'a> KvFootprint<'a> {
     pub fn bytes_for_query_heads(&self, query_heads: u64, tokens: u64, layers: u64) -> u64 {
         let r = self.spec.gqa_ratio() as u64;
         assert!(
-            query_heads % r == 0,
+            query_heads.is_multiple_of(r),
             "query heads {query_heads} not a multiple of group ratio {r}"
         );
         self.bytes_for(tokens, layers, query_heads / r)

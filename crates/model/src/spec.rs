@@ -56,7 +56,7 @@ impl ModelSpec {
     /// Query-heads-per-KV-head group ratio `r` (1 for MHA, 8 for Llama-70B).
     #[inline]
     pub fn gqa_ratio(&self) -> u32 {
-        debug_assert!(self.num_heads % self.num_kv_heads == 0);
+        debug_assert!(self.num_heads.is_multiple_of(self.num_kv_heads));
         self.num_heads / self.num_kv_heads
     }
 
@@ -114,7 +114,7 @@ impl ModelSpec {
         if self.num_heads == 0 || self.num_kv_heads == 0 || self.num_layers == 0 {
             return Err(format!("{}: zero-sized dimension", self.name));
         }
-        if self.num_heads % self.num_kv_heads != 0 {
+        if !self.num_heads.is_multiple_of(self.num_kv_heads) {
             return Err(format!(
                 "{}: num_heads {} not divisible by num_kv_heads {}",
                 self.name, self.num_heads, self.num_kv_heads
@@ -164,10 +164,7 @@ mod tests {
         let m = toy();
         // qkv: 64*64 + 2*64*16 = 4096+2048 = 6144; out: 4096; mlp: 3*64*256=49152
         assert_eq!(m.params_per_layer(), 6144 + 4096 + 49152);
-        assert_eq!(
-            m.total_params(),
-            2 * m.params_per_layer() + 2 * 1000 * 64
-        );
+        assert_eq!(m.total_params(), 2 * m.params_per_layer() + 2 * 1000 * 64);
         assert_eq!(m.weight_bytes_total(), m.total_params() * 2);
     }
 

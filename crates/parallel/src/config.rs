@@ -72,10 +72,7 @@ impl ParallelConfig {
 
     /// All devices used by any instance.
     pub fn devices(&self) -> Vec<DeviceId> {
-        self.instances
-            .iter()
-            .flat_map(|i| i.devices())
-            .collect()
+        self.instances.iter().flat_map(|i| i.devices()).collect()
     }
 
     /// Structural validation against a model and cluster:
@@ -107,7 +104,10 @@ impl ParallelConfig {
                     return Err(format!("instance {ii} stage {si} has zero layers"));
                 }
                 let tp = stage.tp() as u32;
-                if model.num_heads % tp != 0 || model.num_kv_heads % tp.min(model.num_kv_heads) != 0
+                if !model.num_heads.is_multiple_of(tp)
+                    || !model
+                        .num_kv_heads
+                        .is_multiple_of(tp.min(model.num_kv_heads))
                 {
                     return Err(format!(
                         "instance {ii} stage {si}: TP {tp} does not divide heads \

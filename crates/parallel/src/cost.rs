@@ -76,8 +76,7 @@ fn prefill_layer_device_time(
         weight_bytes: costs.spec().weight_bytes_per_layer() as f64 / tp,
     };
     let m = costs.spec();
-    let attn_flops =
-        2.0 * m.num_heads as f64 * m.head_dim as f64 * batch.sq_sum / tp;
+    let attn_flops = 2.0 * m.num_heads as f64 * m.head_dim as f64 * batch.sq_sum / tp;
     dense_prefill_time(spec, dense, 3) + attn_prefill_time(spec, attn_flops)
 }
 
@@ -236,8 +235,7 @@ impl<'a> CostModel<'a> {
             .iter()
             .map(|stage| {
                 let virt = virtual_fused_spec(self.cluster, stage);
-                stage.layers as f64
-                    * decode_layer_device_time(&virt, &costs, &kv, batch, 1.0)
+                stage.layers as f64 * decode_layer_device_time(&virt, &costs, &kv, batch, 1.0)
             })
             .fold(0.0_f64, f64::max)
     }

@@ -24,7 +24,7 @@ pub fn dp_groupings(cluster: &Cluster, dp: usize) -> Option<Vec<Vec<TypeGroup>>>
     assert!(dp >= 1);
     let types = cluster.gpu_types_by_power();
     for t in &types {
-        if cluster.devices_of_type(*t).len() % dp != 0 {
+        if !cluster.devices_of_type(*t).len().is_multiple_of(dp) {
             return None;
         }
     }
@@ -57,7 +57,7 @@ pub fn tp_pp_shapes(cluster: &Cluster, devices: &[DeviceId]) -> Vec<Vec<Vec<Devi
 
     let mut shapes = Vec::new();
     for tp in [1usize, 2, 4, 8] {
-        if tp > n || n % tp != 0 {
+        if tp > n || !n.is_multiple_of(tp) {
             continue;
         }
         let groups: Vec<Vec<DeviceId>> = ordered.chunks(tp).map(|c| c.to_vec()).collect();

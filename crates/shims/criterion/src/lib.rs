@@ -1,0 +1,168 @@
+//! Minimal offline shim for the subset of `criterion` this workspace
+//! uses: `Criterion::bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `criterion_group!` and `criterion_main!`.
+//!
+//! Each benchmark is warmed up briefly, then timed for a fixed budget; the
+//! mean ns/iter is printed as a TSV row. There is no statistical analysis
+//! or report output.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized; accepted for API compatibility, the shim
+/// times one routine call per setup either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked
+/// work, as in `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    warmup: Duration,
+    budget: Duration,
+    /// Filled in by `iter`/`iter_batched`.
+    result_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records mean ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up.
+        let start = Instant::now();
+        while start.elapsed() < self.warmup {
+            black_box(routine());
+        }
+        // Timed loop.
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            black_box(routine());
+            iters += 1;
+        }
+        let total = start.elapsed();
+        self.result_ns = Some(total.as_nanos() as f64 / iters.max(1) as f64);
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        while start.elapsed() < self.warmup {
+            black_box(routine(setup()));
+        }
+        let mut iters: u64 = 0;
+        let mut timed = Duration::ZERO;
+        let wall = Instant::now();
+        while wall.elapsed() < self.budget {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            timed += t.elapsed();
+            iters += 1;
+        }
+        self.result_ns = Some(timed.as_nanos() as f64 / iters.max(1) as f64);
+    }
+}
+
+/// Benchmark registry / driver, as in `criterion::Criterion`.
+pub struct Criterion {
+    warmup: Duration,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // HETIS_BENCH_SCALE=full lengthens the measurement window.
+        let full = std::env::var("HETIS_BENCH_SCALE").as_deref() == Ok("full");
+        Criterion {
+            warmup: Duration::from_millis(if full { 300 } else { 50 }),
+            budget: Duration::from_millis(if full { 2000 } else { 300 }),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints `id<TAB>ns/iter`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            budget: self.budget,
+            result_ns: None,
+        };
+        f(&mut b);
+        match b.result_ns {
+            Some(ns) => println!("{id}\t{ns:.1}\tns/iter"),
+            None => println!("{id}\tno-measurement"),
+        }
+        self
+    }
+}
+
+/// Declares a group runner function invoking each benchmark fn in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("tiny_add", |b| b.iter(|| black_box(2u64) + 2));
+        c.bench_function("tiny_batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn shim_times_something() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(1),
+            budget: Duration::from_millis(5),
+        };
+        tiny(&mut c);
+    }
+
+    criterion_group!(benches, tiny);
+
+    #[test]
+    fn group_macro_generates_runner() {
+        let _: fn() = benches;
+    }
+}

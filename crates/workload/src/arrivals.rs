@@ -75,6 +75,27 @@ impl PiecewiseRate {
         PiecewiseRate::new(vec![(q, 5.0), (q, 0.0), (q, 2.5), (q, 0.0)])
     }
 
+    /// A load spike aligned with a cluster-churn window: `base` req/s
+    /// everywhere except `[storm_start, storm_start + storm_len)`, where
+    /// the rate is `base × multiplier`. Used by the elastic-churn
+    /// scenarios, where demand spikes while capacity is being revoked.
+    pub fn storm(total: f64, base: f64, storm_start: f64, storm_len: f64, multiplier: f64) -> Self {
+        assert!(storm_start >= 0.0 && storm_len > 0.0 && multiplier >= 0.0);
+        let start = storm_start.min(total);
+        let end = (storm_start + storm_len).min(total);
+        let mut segments = Vec::new();
+        if start > 0.0 {
+            segments.push((start, base));
+        }
+        if end > start {
+            segments.push((end - start, base * multiplier));
+        }
+        if total > end {
+            segments.push((total - end, base));
+        }
+        PiecewiseRate::new(segments)
+    }
+
     /// Total duration covered by the segments.
     pub fn total_duration(&self) -> f64 {
         self.segments.iter().map(|&(d, _)| d).sum()
@@ -190,5 +211,22 @@ mod tests {
         let a = p.generate(50.0, &mut StdRng::seed_from_u64(42));
         let b = p.generate(50.0, &mut StdRng::seed_from_u64(42));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn storm_pattern_shape() {
+        let pw = PiecewiseRate::storm(120.0, 2.0, 40.0, 20.0, 3.0);
+        assert_eq!(pw.rate_at(10.0), 2.0);
+        assert_eq!(pw.rate_at(45.0), 6.0);
+        assert_eq!(pw.rate_at(100.0), 2.0);
+        assert_eq!(pw.total_duration(), 120.0);
+        // Spike clipped to the horizon.
+        let clipped = PiecewiseRate::storm(50.0, 1.0, 40.0, 20.0, 5.0);
+        assert_eq!(clipped.total_duration(), 50.0);
+        assert_eq!(clipped.rate_at(45.0), 5.0);
+        // Storm starting at t=0 has no leading segment.
+        let lead = PiecewiseRate::storm(30.0, 1.0, 0.0, 10.0, 2.0);
+        assert_eq!(lead.rate_at(5.0), 2.0);
+        assert_eq!(lead.rate_at(15.0), 1.0);
     }
 }

@@ -19,13 +19,19 @@ fn sustained(report: &RunReport, slo: f64) -> bool {
     report.completion_rate() >= 0.98 && report.mean_normalized_latency() <= slo
 }
 
-fn max_rate(system: &str, cluster: &hetis::cluster::Cluster, model: &hetis::model::ModelSpec) -> f64 {
+fn max_rate(
+    system: &str,
+    cluster: &hetis::cluster::Cluster,
+    model: &hetis::model::ModelSpec,
+) -> f64 {
     let slo = 0.08; // s/token
     let mut best = 0.0;
     for rate in [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0] {
         let trace = TraceBuilder::new(DatasetKind::ShareGpt, 88).build(&Poisson::new(rate), 40.0);
-        let mut cfg = EngineConfig::default();
-        cfg.drain_timeout = 120.0;
+        let cfg = EngineConfig {
+            drain_timeout: 120.0,
+            ..EngineConfig::default()
+        };
         let report = match system {
             "splitwise" => run(SplitwisePolicy::new(), cluster, model, cfg, &trace),
             "hexgen" => run(HexgenPolicy::new(), cluster, model, cfg, &trace),
@@ -53,7 +59,9 @@ fn max_rate(system: &str, cluster: &hetis::cluster::Cluster, model: &hetis::mode
 fn main() {
     let cluster = paper_cluster();
     let model = llama_13b();
-    println!("Maximum sustainable ShareGPT rate on Llama-13B (98% completion, 0.08 s/token SLO):\n");
+    println!(
+        "Maximum sustainable ShareGPT rate on Llama-13B (98% completion, 0.08 s/token SLO):\n"
+    );
     let sw = max_rate("splitwise", &cluster, &model);
     println!("splitwise  {sw:>5.1} req/s");
     let hx = max_rate("hexgen", &cluster, &model);

@@ -40,7 +40,13 @@ fn main() {
     );
 
     let cfg = EngineConfig::default();
-    let sw = run(SplitwisePolicy::new(), &cluster, &model, cfg.clone(), &trace);
+    let sw = run(
+        SplitwisePolicy::new(),
+        &cluster,
+        &model,
+        cfg.clone(),
+        &trace,
+    );
     row(&sw, trace.len());
     let hx = run(HexgenPolicy::new(), &cluster, &model, cfg.clone(), &trace);
     row(&hx, trace.len());

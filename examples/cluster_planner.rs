@@ -14,7 +14,11 @@ use hetis::parallel::{device_weight_bytes, InstanceConfig, ParallelConfig};
 use hetis::workload::DatasetKind;
 
 fn plan(label: &str, cluster: &hetis::cluster::Cluster, model: &hetis::model::ModelSpec) {
-    println!("\n=== {label}: {} on {} GPUs ===", model.name, cluster.len());
+    println!(
+        "\n=== {label}: {} on {} GPUs ===",
+        model.name,
+        cluster.len()
+    );
     let profile = WorkloadProfile::for_cluster(DatasetKind::ShareGpt, cluster, model, 0.3);
     let out = search_topology(cluster, model, &profile, &HetisConfig::default());
     println!(

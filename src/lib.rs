@@ -8,6 +8,7 @@
 pub use hetis_baselines as baselines;
 pub use hetis_cluster as cluster;
 pub use hetis_core as core;
+pub use hetis_elastic as elastic;
 pub use hetis_engine as engine;
 pub use hetis_kvcache as kvcache;
 pub use hetis_lp as lp;

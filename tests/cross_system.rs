@@ -38,7 +38,13 @@ fn all_three_systems_complete_a_light_load() {
     let trace = TraceBuilder::new(DatasetKind::ShareGpt, 301).build(&Poisson::new(3.0), 25.0);
     let n = trace.len();
 
-    let sw = run(SplitwisePolicy::new(), &cluster, &model, engine_cfg(), &trace);
+    let sw = run(
+        SplitwisePolicy::new(),
+        &cluster,
+        &model,
+        engine_cfg(),
+        &trace,
+    );
     let hx = run(HexgenPolicy::new(), &cluster, &model, engine_cfg(), &trace);
     let ht = run_hetis(&cluster, &model, DatasetKind::ShareGpt, &trace);
     for (name, r) in [("splitwise", &sw), ("hexgen", &hx), ("hetis", &ht)] {
@@ -55,7 +61,13 @@ fn hetis_beats_baselines_at_high_load_llama70b() {
     let trace = TraceBuilder::new(DatasetKind::ShareGpt, 302).build(&Poisson::new(8.0), 50.0);
     let n = trace.len();
 
-    let sw = run(SplitwisePolicy::new(), &cluster, &model, engine_cfg(), &trace);
+    let sw = run(
+        SplitwisePolicy::new(),
+        &cluster,
+        &model,
+        engine_cfg(),
+        &trace,
+    );
     let hx = run(HexgenPolicy::new(), &cluster, &model, engine_cfg(), &trace);
     let ht = run_hetis(&cluster, &model, DatasetKind::ShareGpt, &trace);
 
@@ -83,7 +95,13 @@ fn hetis_has_largest_usable_cache_llama13b() {
     let model = llama_13b();
     let trace = TraceBuilder::new(DatasetKind::ShareGpt, 303).build(&Poisson::new(1.0), 5.0);
 
-    let sw = run(SplitwisePolicy::new(), &cluster, &model, engine_cfg(), &trace);
+    let sw = run(
+        SplitwisePolicy::new(),
+        &cluster,
+        &model,
+        engine_cfg(),
+        &trace,
+    );
     let hx = run(HexgenPolicy::new(), &cluster, &model, engine_cfg(), &trace);
     let ht = run_hetis(&cluster, &model, DatasetKind::ShareGpt, &trace);
 
@@ -108,7 +126,13 @@ fn splitwise_migrates_every_request_hetis_only_as_needed() {
     let trace = TraceBuilder::new(DatasetKind::HumanEval, 304).build(&Poisson::new(4.0), 20.0);
     let n = trace.len();
 
-    let sw = run(SplitwisePolicy::new(), &cluster, &model, engine_cfg(), &trace);
+    let sw = run(
+        SplitwisePolicy::new(),
+        &cluster,
+        &model,
+        engine_cfg(),
+        &trace,
+    );
     assert!(sw.migrations as usize >= n, "every prefill hands off");
 
     let ht = run_hetis(&cluster, &model, DatasetKind::HumanEval, &trace);
