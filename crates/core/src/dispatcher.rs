@@ -75,7 +75,49 @@ impl Dispatcher {
         stage_idx: u16,
         new_reqs: &[u32],
     ) -> Option<DispatchOutcome> {
-        self.dispatch_adjusted(cluster, model, kv, stage, stage_idx, new_reqs, &[], None)
+        self.dispatch_adjusted(
+            cluster,
+            model,
+            kv,
+            stage,
+            stage_idx,
+            new_reqs,
+            &[],
+            None,
+            None,
+        )
+    }
+
+    /// [`Dispatcher::dispatch`] for a chunked-prefill engine: the
+    /// objective's per-request attention-load term is capped at `chunk`
+    /// tokens — during the chunked window a prompt's per-iteration
+    /// attention work is chunk-bounded, so pricing its whole context into
+    /// every iteration makes the LP too pessimistic about slower workers
+    /// — while the capacity constraint still reserves KV for the *full*
+    /// prompt (memory is allocated up front, not per chunk). With
+    /// `chunk = None` this is exactly [`Dispatcher::dispatch`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn dispatch_chunked(
+        &self,
+        cluster: &Cluster,
+        model: &ModelSpec,
+        kv: &KvState,
+        stage: &StageTopo,
+        stage_idx: u16,
+        new_reqs: &[u32],
+        chunk: Option<u64>,
+    ) -> Option<DispatchOutcome> {
+        self.dispatch_adjusted(
+            cluster,
+            model,
+            kv,
+            stage,
+            stage_idx,
+            new_reqs,
+            &[],
+            None,
+            chunk,
+        )
     }
 
     /// [`Dispatcher::dispatch`] with per-device load *removals*: each
@@ -87,6 +129,10 @@ impl Dispatcher {
     /// memory-exhaustion path (§5.3.2) re-dispatches the victim *away*
     /// from the exhausted device, so that device must not re-receive the
     /// heads its own eviction pressure just released.
+    ///
+    /// `compute_chunk` caps each request's length in the *objective* only
+    /// (see [`Dispatcher::dispatch_chunked`]); capacity always uses the
+    /// full length.
     #[allow(clippy::too_many_arguments)]
     pub fn dispatch_adjusted(
         &self,
@@ -98,6 +144,7 @@ impl Dispatcher {
         new_reqs: &[u32],
         removed: &[(DeviceId, f64, f64)],
         banned: Option<DeviceId>,
+        compute_chunk: Option<u64>,
     ) -> Option<DispatchOutcome> {
         if new_reqs.is_empty() {
             return Some(DispatchOutcome {
@@ -166,7 +213,8 @@ impl Dispatcher {
                 (2.0 + 2.0 / r as f64) * model.head_dim as f64 * model.dtype.bytes() as f64;
             let a_eff = m.a + gamma * per_head_bytes;
             for (jj, &l) in new_reqs.iter().enumerate() {
-                coeffs[jj * n + i] = (a_eff + m.b * kappa * l as f64) * MS;
+                let l_compute = (l as u64).min(compute_chunk.unwrap_or(u64::MAX)) as f64;
+                coeffs[jj * n + i] = (a_eff + m.b * kappa * l_compute) * MS;
             }
             let constant =
                 (a_eff * h_now[i] + m.b * g_now[i] + m.c + if remote { beta } else { 0.0 }) * MS;

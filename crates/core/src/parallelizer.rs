@@ -41,7 +41,18 @@ pub struct SearchOutcome {
     pub attention_workers: Vec<DeviceId>,
 }
 
-/// Runs the full hierarchical search.
+/// Runs the Parallelizer's full hierarchical search (§4.1, Fig. 4) —
+/// the main planning entry point.
+///
+/// The search proceeds top-down: data-parallel groupings of the device
+/// types → per-type unified stages with balanced layer counts → the
+/// Δ-gated exclusion walk (`C_p(σ−κ)/C_p(σ) ≤ 1+Δ`) that demotes
+/// low-end GPUs from primary workers to pooled *attention workers* →
+/// TP×PP shape exploration under the full compute+communication cost
+/// model, subject to the workload profile's KV-capacity side condition.
+/// Returns the best topology found together with search statistics
+/// ([`SearchOutcome`]); the result feeds [`crate::HetisPolicy`] and, on
+/// cluster churn, the elastic controller's constrained re-search.
 pub fn search_topology(
     cluster: &Cluster,
     model: &ModelSpec,

@@ -63,6 +63,8 @@ pub fn replan_request(
     let mut per_stage = Vec::with_capacity(stages.len());
     for (s, stage) in stages.iter().enumerate() {
         let removed = victim_stage_loads(ctx, rid, s as u16);
+        // A decoding victim's *full* context hits attention every
+        // iteration, so no chunk cap applies here.
         let out = dispatcher.dispatch_adjusted(
             ctx.cluster,
             ctx.model,
@@ -72,6 +74,7 @@ pub fn replan_request(
             &[l],
             &removed,
             banned,
+            None,
         )?;
         let devices = stage.attention_devices();
         let entry: Vec<(DeviceId, u32)> = devices

@@ -145,18 +145,22 @@ impl Policy for HetisPolicy {
         let lens: Vec<u32> = reqs.iter().map(|&(_, l)| l).collect();
 
         // Try the whole batch; shrink to the largest feasible prefix.
+        // Under chunked prefill the LP prices each prompt's per-iteration
+        // attention load at chunk size (capacity still reserves the full
+        // prompt) — see `Dispatcher::dispatch_chunked`.
         let mut k = lens.len();
         while k > 0 {
             let mut per_stage_heads: Vec<Vec<Vec<u32>>> = Vec::with_capacity(stages.len());
             let mut feasible = true;
             for (s, stage) in stages.iter().enumerate() {
-                match dispatcher.dispatch(
+                match dispatcher.dispatch_chunked(
                     ctx.cluster,
                     ctx.model,
                     ctx.kv,
                     stage,
                     s as u16,
                     &lens[..k],
+                    ctx.prefill_chunk_tokens,
                 ) {
                     Some(out) => per_stage_heads.push(out.heads),
                     None => {

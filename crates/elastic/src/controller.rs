@@ -83,7 +83,20 @@ pub struct ReplanPlan {
     pub migrations: Vec<RedispatchOp>,
 }
 
-/// Live re-planner around the Hetis Parallelizer.
+/// Live re-planner around the Hetis Parallelizer — the elastic
+/// subsystem's main entry point.
+///
+/// On every cluster-change event it re-runs the hierarchical topology
+/// search on the *surviving* device set (rebuilt as a sub-cluster with
+/// id remapping), diffs the ideal result against the running topology,
+/// and emits a [`ReplanPlan`]: the constrained topology actually
+/// installable live (surviving primaries keep their devices and layers
+/// — weights cannot teleport — while the attention-worker pool is
+/// rebuilt from all surviving non-primary devices), Hauler-planned KV
+/// drains off devices under preemption notice, and a deterministic
+/// re-plan latency the engine charges to every pipeline. Wrap it around
+/// any policy with [`crate::ElasticPolicy`]; construct the no-replan
+/// ablation with [`crate::ElasticPolicy::frozen`].
 #[derive(Debug, Clone)]
 pub struct ElasticController {
     hetis: HetisConfig,
@@ -540,6 +553,7 @@ mod tests {
             kv: &kv,
             requests: &requests,
             topology: &topo,
+            prefill_chunk_tokens: None,
         };
         let (ideal, evaluated) =
             ideal_search(&c, &accepting, &ctx, &profile, &HetisConfig::default())

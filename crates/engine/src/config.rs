@@ -1,5 +1,18 @@
 //! Engine tuning knobs.
 
+/// How the admission queue is ordered when prefill batches are formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Strict arrival order (the pre-SLO behavior).
+    #[default]
+    Fifo,
+    /// Least TTFT slack first: requests are ordered by
+    /// `class.ttft_slack(arrival, now)` ascending, so latency-critical
+    /// classes overtake queued long-context work whose deadline is far
+    /// away. Ties break by arrival then id, keeping runs deterministic.
+    SloSlack,
+}
+
 /// Engine configuration, mirroring vLLM's serving knobs where they exist.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -7,6 +20,16 @@ pub struct EngineConfig {
     pub block_size: u32,
     /// Prefill token budget per iteration (vLLM `max_num_batched_tokens`).
     pub max_batch_tokens: u64,
+    /// Chunked prefill: cap on prompt tokens one request contributes to a
+    /// single prefill iteration (vLLM `long_prefill_token_threshold`
+    /// family). `None` prefills prompts atomically (the pre-chunking
+    /// behavior); `Some(c)` splits longer prompts into `c`-token chunks
+    /// interleaved with decode iterations, bounding the head-of-line
+    /// blocking a long prompt can inflict. A chunk size at or above the
+    /// longest effective prompt is bit-identical to `None`.
+    pub prefill_chunk_tokens: Option<u64>,
+    /// Admission-queue ordering.
+    pub admission: AdmissionPolicy,
     /// Maximum concurrently running sequences per instance.
     pub max_running: usize,
     /// Multiplicative kernel-time jitter amplitude (0 = deterministic).
@@ -26,6 +49,8 @@ impl Default for EngineConfig {
         EngineConfig {
             block_size: 16,
             max_batch_tokens: 8192,
+            prefill_chunk_tokens: None,
+            admission: AdmissionPolicy::Fifo,
             max_running: 512,
             kernel_jitter: 0.0,
             seed: 0xC0FFEE,
@@ -45,5 +70,7 @@ mod tests {
         assert_eq!(c.block_size, 16);
         assert!(c.max_batch_tokens >= 2048);
         assert!(c.kernel_jitter == 0.0);
+        assert_eq!(c.prefill_chunk_tokens, None);
+        assert_eq!(c.admission, AdmissionPolicy::Fifo);
     }
 }

@@ -8,7 +8,7 @@
 //! victims.
 
 use crate::churn::{ClusterEvent, ClusterEventKind, DeviceHealth, HealthView, ReplanRecord};
-use crate::config::EngineConfig;
+use crate::config::{AdmissionPolicy, EngineConfig};
 use crate::memory::KvState;
 use crate::metrics::{CompletedRequest, ModuleSample, RunReport, TraceSample};
 use crate::policy::{Policy, PolicyCtx, VictimAction};
@@ -51,12 +51,24 @@ enum UbatchKind {
 struct Ubatch {
     kind: UbatchKind,
     reqs: Vec<RequestId>,
+    /// Prompt tokens each request contributed to this iteration (prefill
+    /// microbatches only — a chunk under chunked prefill, the whole
+    /// effective prompt otherwise; empty for decode microbatches).
+    chunks: Vec<u32>,
 }
 
 #[derive(Debug, Clone, Default)]
 struct Cohort {
     /// Decoding-phase requests owned by this cohort.
     members: Vec<RequestId>,
+    /// Requests mid-prefill in this cohort, in admission order. Under
+    /// chunked prefill a request stays here across chunks; with atomic
+    /// prefill it enters and leaves within one microbatch lifetime.
+    prefilling: Vec<RequestId>,
+    /// Kind of the last microbatch this cohort executed, used to
+    /// alternate prefill chunks with decode iterations so a long chunked
+    /// prompt cannot starve resident decodes.
+    last_kind: Option<UbatchKind>,
     in_flight: Option<Ubatch>,
 }
 
@@ -80,6 +92,7 @@ macro_rules! ctx {
             kv: &$self.kv,
             requests: &$self.requests,
             topology: &$self.topo,
+            prefill_chunk_tokens: $self.cfg.prefill_chunk_tokens,
         }
     };
 }
@@ -119,9 +132,21 @@ pub struct Engine<'a, P: Policy> {
     replans: Vec<ReplanRecord>,
     lost_tokens: u64,
     churn_evictions: u64,
+    prefill_tokens: u64,
+    prefill_iterations: u64,
+    max_prefill_iter_tokens: u64,
 }
 
-/// Runs `policy` over `trace` on `cluster`/`model`; returns the report.
+/// Runs `policy` over `trace` on `cluster`/`model`; returns the report —
+/// the main simulation entry point.
+///
+/// Constructs an [`Engine`] (topology from `policy.topology()`, KV pools
+/// sized from the weight placement), replays every arrival through
+/// admission → prefill (atomic or chunked per
+/// [`EngineConfig::prefill_chunk_tokens`]) → decode → completion, and
+/// collects a [`RunReport`] with per-request, per-class and per-device
+/// metrics. Fully deterministic for a given `(cfg.seed, trace)`:
+/// [`RunReport::digest`] is bit-stable across reruns.
 pub fn run<P: Policy>(
     policy: P,
     cluster: &Cluster,
@@ -245,6 +270,9 @@ impl<'a, P: Policy> Engine<'a, P> {
             replans: Vec::new(),
             lost_tokens: 0,
             churn_evictions: 0,
+            prefill_tokens: 0,
+            prefill_iterations: 0,
+            max_prefill_iter_tokens: 0,
         };
         // Late joiners: a device whose first scheduled event is a Join is
         // absent at startup.
@@ -316,6 +344,9 @@ impl<'a, P: Policy> Engine<'a, P> {
             replans: self.replans,
             lost_tokens: self.lost_tokens,
             churn_evictions: self.churn_evictions,
+            prefill_tokens: self.prefill_tokens,
+            prefill_iterations: self.prefill_iterations,
+            max_prefill_iter_tokens: self.max_prefill_iter_tokens,
         }
     }
 
@@ -357,7 +388,7 @@ impl<'a, P: Policy> Engine<'a, P> {
         let mut evicted_any = false;
         match ub.kind {
             UbatchKind::Prefill => {
-                for rid in ub.reqs {
+                for (rid, chunk) in ub.reqs.into_iter().zip(ub.chunks) {
                     let invalidated = self.churn_invalidated(rid);
                     let r = self.requests.get_mut(&rid).expect("live request");
                     r.in_flight = false;
@@ -368,8 +399,17 @@ impl<'a, P: Policy> Engine<'a, P> {
                         evicted_any = true;
                         continue;
                     }
+                    r.prefilled += chunk;
+                    if r.prefilled < r.effective_input {
+                        // Mid-chunked-prefill: the request stays in the
+                        // cohort's prefilling set; its next chunk forms in
+                        // a later iteration (alternating with decode).
+                        continue;
+                    }
                     r.push_token(now);
-                    if r.is_complete() {
+                    let complete = r.is_complete();
+                    self.remove_prefilling(inst, rid);
+                    if complete {
                         self.finish(rid);
                         continue;
                     }
@@ -640,14 +680,18 @@ impl<'a, P: Policy> Engine<'a, P> {
                 record.evicted += 1;
                 record.lost_tokens += lost;
             }
-            // Remaining residents (decoding / migrating, not in flight).
+            // Remaining residents (decoding / migrating / parked between
+            // prefill chunks, not in flight) — all hold KV here.
             let mut residents: Vec<RequestId> = self
                 .requests
                 .iter()
                 .filter(|(_, r)| {
                     r.instance == i
                         && !r.in_flight
-                        && matches!(r.phase, Phase::Decoding | Phase::Migrating)
+                        && matches!(
+                            r.phase,
+                            Phase::Decoding | Phase::Migrating | Phase::Prefilling
+                        )
                 })
                 .map(|(rid, _)| *rid)
                 .collect();
@@ -809,14 +853,78 @@ impl<'a, P: Policy> Engine<'a, P> {
             }
         }
 
+        // Slack-ordered admission: sort once per dispatch round — the
+        // cohort loop below only dequeues from the front and re-queues
+        // blocked prefixes in order, both of which preserve sortedness.
+        if self.cfg.admission == AdmissionPolicy::SloSlack {
+            self.sort_waiting_by_slack(inst);
+        }
+
         let depth = self.topo.instances[inst].depth();
         for c in 0..depth {
             if self.instances[inst].cohorts[c].in_flight.is_some() {
                 continue;
             }
+            // Chunked-prefill fairness: when a resident prompt still has
+            // chunks left AND decodes are ready, alternate — one chunk,
+            // one decode iteration — instead of letting the prefill
+            // monopolize the cohort. Without mid-prefill residents
+            // (atomic mode) this is exactly the legacy prefill-priority
+            // order.
+            let cohort = &self.instances[inst].cohorts[c];
+            let has_continuing = cohort.prefilling.iter().any(|rid| {
+                let r = &self.requests[rid];
+                r.phase == Phase::Prefilling && !r.in_flight && r.remaining_prefill() > 0
+            });
+            let has_decode_ready = cohort
+                .members
+                .iter()
+                .any(|rid| self.requests[rid].phase == Phase::Decoding);
+            if has_continuing
+                && has_decode_ready
+                && cohort.last_kind == Some(UbatchKind::Prefill)
+                && self.try_form_decode(inst, c)
+            {
+                continue;
+            }
             if !self.try_form_prefill(inst, c) {
                 self.try_form_decode(inst, c);
             }
+        }
+    }
+
+    /// Reorders an instance's waiting queue by ascending TTFT slack
+    /// (ties: arrival, then id) — the SLO-aware admission order.
+    ///
+    /// Slack is `(arrival + target) − now`; `now` is common to every
+    /// queued request, so the order reduces to the *static* deadline
+    /// `arrival + target`. Keys are computed once per element (not per
+    /// comparison) and the adaptive sort is O(n) on the already-sorted
+    /// queues that dominate steady state.
+    fn sort_waiting_by_slack(&mut self, inst: usize) {
+        if self.instances[inst].waiting.len() < 2 {
+            return;
+        }
+        let mut queued: Vec<(f64, f64, RequestId)> = Vec::new();
+        while let Some(rid) = self.instances[inst].waiting.dequeue() {
+            let r = &self.requests[&rid].req;
+            queued.push((r.arrival + r.class.target().ttft, r.arrival, rid));
+        }
+        queued.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("finite-or-inf deadline")
+                .then(a.1.partial_cmp(&b.1).expect("finite arrivals"))
+                .then(a.2.cmp(&b.2))
+        });
+        for (.., rid) in queued {
+            self.instances[inst].waiting.enqueue(rid);
+        }
+    }
+
+    /// Drops `rid` from a cohort's mid-prefill set.
+    fn remove_prefilling(&mut self, inst: usize, rid: RequestId) {
+        for c in self.instances[inst].cohorts.iter_mut() {
+            c.prefilling.retain(|&m| m != rid);
         }
     }
 
@@ -838,77 +946,129 @@ impl<'a, P: Policy> Engine<'a, P> {
         if role == InstanceRole::DecodeOnly || role == InstanceRole::Down {
             return false;
         }
-        if self.instances[inst].waiting.is_empty() {
-            return false;
-        }
-        let running = self.running_count(inst);
-        if running >= self.cfg.max_running {
-            return false;
-        }
+        // Per-request chunk cap: ∞ (atomic prefill) unless configured.
+        let chunk_cap = self.cfg.prefill_chunk_tokens.unwrap_or(u64::MAX).max(1);
+        let budget = self.cfg.max_batch_tokens;
 
-        // Pull admission candidates under the token budget.
-        let mut candidates: Vec<RequestId> = Vec::new();
+        // 1. Continuing chunks: mid-prefill residents of this cohort go
+        // first (admission order), each contributing its next chunk under
+        // the iteration budget. Empty in atomic mode — prompts never
+        // outlive one microbatch there.
+        let mut entries: Vec<(RequestId, u64, u64)> = Vec::new(); // (rid, chunk, prior)
         let mut tokens = 0u64;
-        while let Some(&rid) = self.instances[inst].waiting.peek() {
-            let eff = self.requests[&rid].effective_input as u64;
-            if !candidates.is_empty()
-                && (tokens + eff > self.cfg.max_batch_tokens
-                    || running + candidates.len() >= self.cfg.max_running)
-            {
+        let continuing: Vec<RequestId> = self.instances[inst].cohorts[cohort]
+            .prefilling
+            .iter()
+            .copied()
+            .filter(|rid| {
+                let r = &self.requests[rid];
+                r.phase == Phase::Prefilling && !r.in_flight && r.remaining_prefill() > 0
+            })
+            .collect();
+        for rid in continuing {
+            let r = &self.requests[&rid];
+            let chunk = (r.remaining_prefill() as u64).min(chunk_cap);
+            if !entries.is_empty() && tokens + chunk > budget {
                 break;
             }
-            self.instances[inst].waiting.dequeue();
-            candidates.push(rid);
-            tokens += eff;
+            tokens += chunk;
+            entries.push((rid, chunk, r.prefilled as u64));
+            if tokens >= budget {
+                break;
+            }
         }
-        if candidates.is_empty() {
+
+        // 2. New admissions under the remaining budget. The admission
+        // queue is FIFO or slack-ordered per `cfg.admission` (sorted by
+        // `try_dispatch` once per round); a request's budget contribution
+        // is its *first chunk*, not its whole prompt, so long prompts no
+        // longer block the queue behind them.
+        let running = self.running_count(inst);
+        let mut candidates: Vec<RequestId> = Vec::new();
+        if running < self.cfg.max_running
+            && tokens < budget
+            && !self.instances[inst].waiting.is_empty()
+        {
+            while let Some(&rid) = self.instances[inst].waiting.peek() {
+                let eff = self.requests[&rid].effective_input as u64;
+                let chunk = eff.min(chunk_cap);
+                if (!entries.is_empty() || !candidates.is_empty())
+                    && (tokens + chunk > budget
+                        || running + candidates.len() >= self.cfg.max_running)
+                {
+                    break;
+                }
+                self.instances[inst].waiting.dequeue();
+                candidates.push(rid);
+                tokens += chunk;
+            }
+        }
+        if entries.is_empty() && candidates.is_empty() {
             return false;
         }
 
         // Joint placement of the admission batch (the paper's J(t)).
-        let pairs: Vec<(RequestId, u32)> = candidates
-            .iter()
-            .map(|&rid| (rid, self.requests[&rid].effective_input))
-            .collect();
-        let placements = self.policy.place_batch(inst, &pairs, &ctx!(self));
-        assert_eq!(placements.len(), candidates.len());
-
+        // Placement and KV allocation always cover the FULL effective
+        // prompt — chunking splits compute over iterations, not memory.
         let mut admitted: Vec<RequestId> = Vec::new();
-        let mut blocked_from: Option<usize> = None;
-        for (k, (rid, placement)) in candidates.iter().zip(placements).enumerate() {
-            let ok = placement
-                .map(|p| self.try_alloc_prompt(*rid, p))
-                .unwrap_or(false);
-            if ok {
-                admitted.push(*rid);
-            } else {
-                blocked_from = Some(k);
-                break;
+        if !candidates.is_empty() {
+            let pairs: Vec<(RequestId, u32)> = candidates
+                .iter()
+                .map(|&rid| (rid, self.requests[&rid].effective_input))
+                .collect();
+            let placements = self.policy.place_batch(inst, &pairs, &ctx!(self));
+            assert_eq!(placements.len(), candidates.len());
+
+            let mut blocked_from: Option<usize> = None;
+            for (k, (rid, placement)) in candidates.iter().zip(placements).enumerate() {
+                let ok = placement
+                    .map(|p| self.try_alloc_prompt(*rid, p))
+                    .unwrap_or(false);
+                if ok {
+                    admitted.push(*rid);
+                } else {
+                    blocked_from = Some(k);
+                    break;
+                }
+            }
+            // Re-queue the blocked request and everything after it (at the
+            // front: FIFO keeps positions; slack mode re-sorts anyway).
+            if let Some(k) = blocked_from {
+                for &rid in candidates[k..].iter().rev() {
+                    self.instances[inst].waiting.requeue_front(rid);
+                }
             }
         }
-        // FIFO: re-queue the blocked request and everything after it.
-        if let Some(k) = blocked_from {
-            for &rid in candidates[k..].iter().rev() {
-                self.instances[inst].waiting.requeue_front(rid);
-            }
-        }
-        if admitted.is_empty() {
+        if entries.is_empty() && admitted.is_empty() {
             return false;
         }
 
         let now = self.clock.now().as_secs();
-        let mut batch = PrefillBatch::default();
         for &rid in &admitted {
             let r = self.requests.get_mut(&rid).expect("live");
             r.phase = Phase::Prefilling;
             r.cohort = cohort;
-            r.in_flight = true;
             r.admitted_at = Some(now);
-            let l = r.effective_input as u64;
-            batch.seqs += 1;
-            batch.tokens += l;
-            batch.sq_sum += (l * l) as f64;
+            let chunk = (r.effective_input as u64).min(chunk_cap);
+            entries.push((rid, chunk, 0));
+            self.instances[inst].cohorts[cohort].prefilling.push(rid);
         }
+
+        // Chunked attention cost: a chunk of c tokens after p already-
+        // prefilled tokens attends to the whole p+c context, so its
+        // quadratic-work share is c² + 2pc. Summed over a prompt's chunks
+        // this telescopes to (Σc)² — the atomic prompt's l² — preserving
+        // the Eq. 7 stage-time model's total work exactly.
+        let mut batch = PrefillBatch::default();
+        for &(rid, chunk, prior) in &entries {
+            self.requests.get_mut(&rid).expect("live").in_flight = true;
+            batch.seqs += 1;
+            batch.tokens += chunk;
+            batch.sq_sum += (chunk * chunk + 2 * prior * chunk) as f64;
+        }
+        self.prefill_tokens += batch.tokens;
+        self.prefill_iterations += 1;
+        self.max_prefill_iter_tokens = self.max_prefill_iter_tokens.max(batch.tokens);
 
         // Walk the pipeline.
         let done = self.schedule_pipeline(
@@ -928,8 +1088,10 @@ impl<'a, P: Policy> Engine<'a, P> {
 
         self.instances[inst].cohorts[cohort].in_flight = Some(Ubatch {
             kind: UbatchKind::Prefill,
-            reqs: admitted,
+            reqs: entries.iter().map(|&(rid, ..)| rid).collect(),
+            chunks: entries.iter().map(|&(_, c, _)| c as u32).collect(),
         });
+        self.instances[inst].cohorts[cohort].last_kind = Some(UbatchKind::Prefill);
         self.events
             .schedule(done, Event::UbatchDone { inst, cohort });
         true
@@ -1036,7 +1198,9 @@ impl<'a, P: Policy> Engine<'a, P> {
         self.instances[inst].cohorts[cohort].in_flight = Some(Ubatch {
             kind: UbatchKind::Decode,
             reqs: for_flight,
+            chunks: Vec::new(),
         });
+        self.instances[inst].cohorts[cohort].last_kind = Some(UbatchKind::Decode);
         self.events
             .schedule(done, Event::UbatchDone { inst, cohort });
         true
@@ -1477,6 +1641,8 @@ impl<'a, P: Policy> Engine<'a, P> {
             output_len: r.req.output_len,
             preemptions: r.preemptions,
             redispatches: r.redispatches,
+            class: r.req.class,
+            tenant: r.req.tenant,
         };
         self.completed.push(rec);
         self.remove_cohort_member(inst, rid);
@@ -1509,6 +1675,7 @@ impl<'a, P: Policy> Engine<'a, P> {
     fn remove_cohort_member(&mut self, inst: usize, rid: RequestId) {
         for c in self.instances[inst].cohorts.iter_mut() {
             c.members.retain(|&m| m != rid);
+            c.prefilling.retain(|&m| m != rid);
         }
     }
 

@@ -7,15 +7,21 @@
 //! * **continuous batching** — prefill-priority scheduling with a token
 //!   budget, per-cohort microbatches keeping every pipeline stage busy
 //!   (vLLM's "virtual engines"),
+//! * **chunked prefill & SLO scheduling** — long prompts optionally
+//!   split into token-budget chunks interleaved with decode iterations,
+//!   and an admission queue ordered by TTFT slack instead of FIFO
+//!   (see [`config::EngineConfig::prefill_chunk_tokens`] and
+//!   [`config::AdmissionPolicy`]),
 //! * **paged KV admission** — byte-accurate per-device pools with block
 //!   rounding; decode steps allocate before running and trigger the
 //!   policy's preemption path on exhaustion,
 //! * **head placements** — every request carries a per-stage map of which
 //!   device computes which query heads (trivially stage-local for the
 //!   baselines; LP-dispatched for Hetis),
-//! * **metrics** — TTFT / TPOT / normalized latency, per-module latency
-//!   contributions (max-stage × stage-count, the paper's Fig. 13 metric),
-//!   and time-series traces of cache usage and head counts (Fig. 14).
+//! * **metrics** — TTFT / TPOT / normalized latency, per-SLO-class
+//!   attainment and goodput, per-module latency contributions
+//!   (max-stage × stage-count, the paper's Fig. 13 metric), and
+//!   time-series traces of cache usage and head counts (Fig. 14).
 //!
 //! Systems plug in through the [`policy::Policy`] trait: the engine owns
 //! execution and accounting, policies own decisions (topology, routing,
@@ -34,10 +40,10 @@ pub mod topology;
 pub use churn::{
     ClusterEvent, ClusterEventKind, DeviceHealth, HealthView, ReplanRecord, ReplanResponse,
 };
-pub use config::EngineConfig;
+pub use config::{AdmissionPolicy, EngineConfig};
 pub use engine::{run, run_with_churn, Engine};
 pub use memory::{DeviceKv, KvState};
-pub use metrics::{ModuleSample, RunReport, TraceSample};
+pub use metrics::{ClassStats, CompletedRequest, ModuleSample, RunReport, TraceSample};
 pub use policy::{Handoff, Policy, PolicyCtx, RedispatchOp, VictimAction};
 pub use request::{Phase, RunningRequest};
 pub use stage::{decode_stage_breakdown, prefill_stage_breakdown, AttnLoad, StageBreakdown};

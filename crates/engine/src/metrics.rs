@@ -8,7 +8,7 @@
 
 use hetis_cluster::DeviceId;
 use hetis_sim::{percentile, Summary};
-use hetis_workload::RequestId;
+use hetis_workload::{RequestId, SloClass, TenantId};
 
 /// Metrics of one completed request.
 #[derive(Debug, Clone)]
@@ -29,6 +29,10 @@ pub struct CompletedRequest {
     pub preemptions: u32,
     /// Re-dispatches applied.
     pub redispatches: u32,
+    /// SLO class the request is graded against.
+    pub class: SloClass,
+    /// Issuing tenant.
+    pub tenant: TenantId,
 }
 
 impl CompletedRequest {
@@ -50,6 +54,42 @@ impl CompletedRequest {
     /// y-axis, s/token).
     pub fn normalized_latency(&self) -> f64 {
         (self.completion - self.arrival) / self.output_len as f64
+    }
+
+    /// True when the request met its class's TTFT and TPOT targets.
+    pub fn slo_met(&self) -> bool {
+        self.class.target().met(self.ttft(), self.tpot())
+    }
+}
+
+/// Per-SLO-class aggregate of one run.
+#[derive(Debug, Clone)]
+pub struct ClassStats {
+    /// The class.
+    pub class: SloClass,
+    /// Completed requests of this class.
+    pub completed: usize,
+    /// Completions that met both TTFT and TPOT targets.
+    pub slo_met: usize,
+    /// Output tokens of SLO-meeting completions (the goodput numerator).
+    pub goodput_tokens: u64,
+    /// P99 TTFT (+inf when nothing completed).
+    pub p99_ttft: f64,
+    /// P95 TTFT (+inf when nothing completed).
+    pub p95_ttft: f64,
+    /// P95 TPOT (+inf when nothing with ≥ 2 output tokens completed).
+    pub p95_tpot: f64,
+}
+
+impl ClassStats {
+    /// Fraction of this class's completions that met the SLO (1.0 when
+    /// nothing completed, so empty classes read as unharmed).
+    pub fn attainment(&self) -> f64 {
+        if self.completed == 0 {
+            1.0
+        } else {
+            self.slo_met as f64 / self.completed as f64
+        }
     }
 }
 
@@ -111,6 +151,17 @@ pub struct RunReport {
     /// Recompute preemptions forced by cluster churn (subset of
     /// `preemptions`).
     pub churn_evictions: u64,
+    /// Total prompt tokens processed by prefill iterations (each chunk
+    /// counted once). Chunking must conserve this against the atomic
+    /// engine on preemption-free runs.
+    pub prefill_tokens: u64,
+    /// Number of prefill iterations executed (atomic prefills count 1;
+    /// a chunked prompt counts once per chunk).
+    pub prefill_iterations: u64,
+    /// Largest token count of any single prefill iteration — the
+    /// chunked-prefill budget invariant: with `prefill_chunk_tokens ≤
+    /// max_batch_tokens` this never exceeds `max_batch_tokens`.
+    pub max_prefill_iter_tokens: u64,
 }
 
 impl RunReport {
@@ -159,6 +210,77 @@ impl RunReport {
         self.replans.iter().map(|r| r.replan_latency).sum()
     }
 
+    /// Completions of one SLO class.
+    pub fn completed_of_class(&self, class: SloClass) -> Vec<&CompletedRequest> {
+        self.completed.iter().filter(|c| c.class == class).collect()
+    }
+
+    /// Per-class aggregates, in [`SloClass::ALL`] order, classes with no
+    /// completions omitted.
+    pub fn class_stats(&self) -> Vec<ClassStats> {
+        SloClass::ALL
+            .iter()
+            .filter_map(|&class| self.stats_of_class(class))
+            .collect()
+    }
+
+    /// Stats of one class (None when it completed nothing). Aggregates
+    /// only this class's completions — cheaper than filtering the full
+    /// [`Self::class_stats`] table.
+    pub fn stats_of_class(&self, class: SloClass) -> Option<ClassStats> {
+        let reqs = self.completed_of_class(class);
+        if reqs.is_empty() {
+            return None;
+        }
+        let ttfts: Vec<f64> = reqs.iter().map(|c| c.ttft()).collect();
+        let tpots: Vec<f64> = reqs
+            .iter()
+            .filter(|c| c.output_len > 1)
+            .map(|c| c.tpot())
+            .collect();
+        let met: Vec<&&CompletedRequest> = reqs.iter().filter(|c| c.slo_met()).collect();
+        Some(ClassStats {
+            class,
+            completed: reqs.len(),
+            slo_met: met.len(),
+            goodput_tokens: met.iter().map(|c| c.output_len as u64).sum(),
+            p99_ttft: percentile(&ttfts, 99.0).unwrap_or(f64::INFINITY),
+            p95_ttft: percentile(&ttfts, 95.0).unwrap_or(f64::INFINITY),
+            p95_tpot: percentile(&tpots, 95.0).unwrap_or(f64::INFINITY),
+        })
+    }
+
+    /// P99 TTFT of one class (+inf when it completed nothing).
+    pub fn p99_ttft_of_class(&self, class: SloClass) -> f64 {
+        self.stats_of_class(class)
+            .map(|s| s.p99_ttft)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Goodput: output tokens served *within SLO* per simulated second.
+    /// For best-effort-only traces this equals [`Self::token_throughput`].
+    pub fn goodput(&self) -> f64 {
+        if self.duration <= 0.0 {
+            return 0.0;
+        }
+        let tokens: u64 = self
+            .completed
+            .iter()
+            .filter(|c| c.slo_met())
+            .map(|c| c.output_len as u64)
+            .sum();
+        tokens as f64 / self.duration
+    }
+
+    /// Overall SLO attainment across every completion (1.0 when nothing
+    /// completed).
+    pub fn slo_attainment(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 1.0;
+        }
+        self.completed.iter().filter(|c| c.slo_met()).count() as f64 / self.completed.len() as f64
+    }
+
     /// Bit-stable fingerprint of the run, for determinism assertions:
     /// same seed + same scenario ⇒ identical digest. Folds every
     /// completed request's exact times (via `f64::to_bits`), the churn
@@ -178,6 +300,8 @@ impl RunReport {
             fold(c.completion.to_bits());
             fold(c.preemptions as u64);
             fold(c.redispatches as u64);
+            fold(c.class.index() as u64);
+            fold(c.tenant.0 as u64);
         }
         fold(self.unfinished as u64);
         fold(self.preemptions);
@@ -185,6 +309,23 @@ impl RunReport {
         fold(self.migrated_bytes.to_bits());
         fold(self.lost_tokens);
         fold(self.churn_evictions);
+        fold(self.prefill_tokens);
+        fold(self.prefill_iterations);
+        fold(self.max_prefill_iter_tokens);
+        // Per-class SLO metrics. Strictly these are derived from the
+        // per-completion folds above; folding the full derived table too
+        // makes the guarantee self-evident — a digest match means
+        // identical attainment/goodput/percentile tables even if the
+        // derivation changes.
+        for s in self.class_stats() {
+            fold(s.class.index() as u64);
+            fold(s.completed as u64);
+            fold(s.slo_met as u64);
+            fold(s.goodput_tokens);
+            fold(s.p99_ttft.to_bits());
+            fold(s.p95_ttft.to_bits());
+            fold(s.p95_tpot.to_bits());
+        }
         fold(self.replans.len() as u64);
         for r in &self.replans {
             fold(r.time.to_bits());
@@ -266,6 +407,8 @@ mod tests {
             output_len: out,
             preemptions: 0,
             redispatches: 0,
+            class: SloClass::BestEffort,
+            tenant: TenantId(0),
         }
     }
 
@@ -295,6 +438,9 @@ mod tests {
             replans: vec![],
             lost_tokens: 0,
             churn_evictions: 0,
+            prefill_tokens: 0,
+            prefill_iterations: 0,
+            max_prefill_iter_tokens: 0,
         }
     }
 
@@ -336,5 +482,59 @@ mod tests {
         ];
         assert!(r.p95_mlp() > 0.019 && r.p95_mlp() <= 0.020);
         assert!(r.p95_attn() > 0.0);
+    }
+
+    #[test]
+    fn class_stats_split_and_grade() {
+        let mut r = empty_report();
+        // Interactive: one meets the SLO (ttft 0.5 ≤ 1.0, tpot 0.1 ≤ 0.2),
+        // one misses on TTFT.
+        let mut fast = req(0.0, 0.5, 1.4, 10);
+        fast.class = SloClass::Interactive;
+        let mut late = req(0.0, 3.0, 4.0, 11);
+        late.class = SloClass::Interactive;
+        // Batch: comfortably within its loose targets.
+        let mut batch = req(0.0, 10.0, 20.0, 40);
+        batch.class = SloClass::Batch;
+        batch.tenant = TenantId(1);
+        r.completed = vec![fast, late, batch];
+
+        assert!(r.completed[0].slo_met());
+        assert!(!r.completed[1].slo_met());
+        assert!(r.completed[2].slo_met());
+
+        let stats = r.class_stats();
+        assert_eq!(stats.len(), 2, "two classes present");
+        let i = r.stats_of_class(SloClass::Interactive).unwrap();
+        assert_eq!((i.completed, i.slo_met, i.goodput_tokens), (2, 1, 10));
+        assert!((i.attainment() - 0.5).abs() < 1e-12);
+        let b = r.stats_of_class(SloClass::Batch).unwrap();
+        assert_eq!((b.completed, b.slo_met, b.goodput_tokens), (1, 1, 40));
+        assert!(r.stats_of_class(SloClass::BestEffort).is_none());
+
+        // Goodput counts only SLO-meeting tokens: (10 + 40) / 10 s.
+        assert!((r.goodput() - 5.0).abs() < 1e-12);
+        assert!((r.slo_attainment() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(r.p99_ttft_of_class(SloClass::Interactive) > 2.9);
+        assert!(r.p99_ttft_of_class(SloClass::BestEffort).is_infinite());
+    }
+
+    #[test]
+    fn digest_covers_class_metrics() {
+        let mut a = empty_report();
+        a.completed = vec![req(0.0, 1.0, 5.0, 4)];
+        let mut b = a.clone();
+        assert_eq!(a.digest(), b.digest());
+        // Same times, different class ⇒ different digest.
+        b.completed[0].class = SloClass::Interactive;
+        assert_ne!(a.digest(), b.digest());
+        // Same times, different tenant ⇒ different digest.
+        let mut c = a.clone();
+        c.completed[0].tenant = TenantId(7);
+        assert_ne!(a.digest(), c.digest());
+        // Prefill counters are covered too.
+        let mut d = a.clone();
+        d.prefill_tokens = 1;
+        assert_ne!(a.digest(), d.digest());
     }
 }

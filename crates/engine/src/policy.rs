@@ -29,6 +29,11 @@ pub struct PolicyCtx<'a> {
     pub requests: &'a HashMap<RequestId, RunningRequest>,
     /// The serving topology.
     pub topology: &'a Topology,
+    /// The engine's chunked-prefill cap (`None` = atomic prefill).
+    /// Placement policies can use it to bound the *per-iteration* compute
+    /// load a long prompt contributes, while sizing KV for the full
+    /// prompt.
+    pub prefill_chunk_tokens: Option<u64>,
 }
 
 /// Post-prefill hand-off decision (Splitwise).
@@ -112,7 +117,7 @@ pub trait Policy {
     /// Called after the engine applied a cluster-change event (`health`
     /// already reflects it, dead devices are already pruned from
     /// attention-worker lists and lost instances marked `Down`). Return a
-    /// [`ReplanResponse`] to re-plan the topology and/or drain KV off
+    /// [`crate::churn::ReplanResponse`] to re-plan the topology and/or drain KV off
     /// draining devices; the default does nothing (a static system).
     fn on_cluster_change(
         &mut self,
@@ -275,12 +280,15 @@ mod tests {
             kv: &kv,
             requests: &requests,
             topology: &topo,
+            prefill_chunk_tokens: None,
         };
         let r = Request {
             id: RequestId(0),
             arrival: 0.0,
             input_len: 10,
             output_len: 5,
+            class: Default::default(),
+            tenant: Default::default(),
         };
         assert_eq!(p.route(&r, &ctx), 0);
         assert_eq!(p.route(&r, &ctx), 1);

@@ -36,6 +36,11 @@ pub struct RunningRequest {
     /// Prompt tokens *for the current prefill* — grows on recompute
     /// preemption (prompt + already-generated are re-prefilled together).
     pub effective_input: u32,
+    /// Prompt tokens already processed by completed prefill chunks of the
+    /// current prefill (0 unless mid-chunked-prefill; always 0 when
+    /// chunking is off, where a prefill completes atomically). Reset on
+    /// recompute preemption — the whole context re-prefills.
+    pub prefilled: u32,
     /// Absolute times of produced tokens.
     pub token_times: Vec<f64>,
     /// Time the request was admitted to a prefill batch (for queueing
@@ -63,6 +68,7 @@ impl RunningRequest {
     pub fn new(req: Request, instance: usize) -> Self {
         RunningRequest {
             effective_input: req.input_len,
+            prefilled: 0,
             req,
             phase: Phase::Waiting,
             instance,
@@ -91,6 +97,12 @@ impl RunningRequest {
         self.req.output_len - self.generated
     }
 
+    /// Prompt tokens of the current prefill not yet chunk-processed.
+    #[inline]
+    pub fn remaining_prefill(&self) -> u32 {
+        self.effective_input.saturating_sub(self.prefilled)
+    }
+
     /// True once all output tokens exist.
     #[inline]
     pub fn is_complete(&self) -> bool {
@@ -107,6 +119,7 @@ impl RunningRequest {
     /// part of the next prefill.
     pub fn preempt_recompute(&mut self) {
         self.effective_input = self.req.input_len + self.generated;
+        self.prefilled = 0;
         self.phase = Phase::Waiting;
         self.placement = None;
         self.in_flight = false;
@@ -126,6 +139,8 @@ mod tests {
             arrival: 0.0,
             input_len: 100,
             output_len: 10,
+            class: Default::default(),
+            tenant: Default::default(),
         }
     }
 

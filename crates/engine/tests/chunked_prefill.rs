@@ -1,0 +1,192 @@
+//! Chunked-prefill invariants.
+//!
+//! Three properties pin the scheduler refactor:
+//!
+//! 1. **Token conservation** — splitting prefills into chunks never
+//!    changes the total number of prompt tokens prefilled (the chunk
+//!    sizes of one prompt telescope to its effective length).
+//! 2. **Budget** — with `prefill_chunk_tokens ≤ max_batch_tokens`, no
+//!    prefill iteration ever exceeds the `max_batch_tokens` budget
+//!    (atomic mode may: a single oversized prompt is admitted alone).
+//! 3. **Degeneration** — a chunk size at or above the longest effective
+//!    prompt is *bit-identical* to the unchunked engine: same report
+//!    digest, hence same completions at the same times.
+
+use hetis_cluster::cluster::paper_cluster;
+use hetis_cluster::GpuType;
+use hetis_engine::policy::StaticPolicy;
+use hetis_engine::{
+    run, AdmissionPolicy, EngineConfig, InstanceRole, InstanceTopo, RunReport, StageTopo, Topology,
+};
+use hetis_model::llama_13b;
+use hetis_workload::{DatasetKind, Poisson, TraceBuilder};
+use proptest::prelude::*;
+
+fn a100_topo() -> Topology {
+    let c = paper_cluster();
+    Topology {
+        instances: vec![InstanceTopo {
+            stages: vec![StageTopo::plain(StageConfig {
+                devices: c.devices_of_type(GpuType::A100),
+                layers: 40,
+            })],
+            role: InstanceRole::Both,
+        }],
+    }
+}
+use hetis_parallel::StageConfig;
+
+fn run_with(chunk: Option<u64>, admission: AdmissionPolicy, seed: u64, rate: f64) -> RunReport {
+    let cluster = paper_cluster();
+    let model = llama_13b();
+    let trace = TraceBuilder::new(DatasetKind::ShareGpt, seed).build(&Poisson::new(rate), 20.0);
+    let cfg = EngineConfig {
+        prefill_chunk_tokens: chunk,
+        admission,
+        ..EngineConfig::default()
+    };
+    run(
+        StaticPolicy::new("vllm", a100_topo()),
+        &cluster,
+        &model,
+        cfg,
+        &trace,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Chunking conserves the total prefilled tokens and the completion
+    /// set on preemption-free runs, for any chunk size.
+    #[test]
+    fn chunking_conserves_prefill_tokens(
+        seed in 0u64..1000,
+        chunk in 64u64..2048,
+        rate in 1.0f64..4.0,
+    ) {
+        let atomic = run_with(None, AdmissionPolicy::Fifo, seed, rate);
+        let chunked = run_with(Some(chunk), AdmissionPolicy::Fifo, seed, rate);
+        prop_assert_eq!(atomic.preemptions, 0, "baseline run must be preemption-free");
+        prop_assert_eq!(chunked.preemptions, 0, "chunked run must be preemption-free");
+        prop_assert_eq!(atomic.prefill_tokens, chunked.prefill_tokens,
+            "chunking changed total prefill tokens");
+        // Same requests complete; chunking reshapes timing, not outcomes.
+        let mut a: Vec<u64> = atomic.completed.iter().map(|c| c.id.0).collect();
+        let mut b: Vec<u64> = chunked.completed.iter().map(|c| c.id.0).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        // Chunked mode runs at least as many prefill iterations.
+        prop_assert!(chunked.prefill_iterations >= atomic.prefill_iterations);
+    }
+
+    /// With a chunk cap at or under the iteration budget, no prefill
+    /// iteration exceeds `max_batch_tokens`.
+    #[test]
+    fn chunking_respects_iteration_budget(
+        seed in 0u64..1000,
+        chunk in 64u64..8192,
+        rate in 1.0f64..6.0,
+    ) {
+        let r = run_with(Some(chunk), AdmissionPolicy::Fifo, seed, rate);
+        let budget = EngineConfig::default().max_batch_tokens;
+        prop_assert!(chunk <= budget, "sampled chunk stays under default budget");
+        prop_assert!(r.max_prefill_iter_tokens <= budget,
+            "iteration used {} tokens over the {} budget",
+            r.max_prefill_iter_tokens, budget);
+        prop_assert!(r.max_prefill_iter_tokens > 0);
+    }
+
+    /// A chunk size ≥ the longest effective prompt degenerates to the
+    /// atomic engine, bit for bit.
+    #[test]
+    fn oversized_chunk_is_digest_identical(
+        seed in 0u64..1000,
+        rate in 1.0f64..6.0,
+    ) {
+        let atomic = run_with(None, AdmissionPolicy::Fifo, seed, rate);
+        // ShareGPT prompts clip at 2048 and outputs at 1024, so even a
+        // fully recomputed context stays below 4096.
+        let chunked = run_with(Some(1 << 20), AdmissionPolicy::Fifo, seed, rate);
+        prop_assert_eq!(atomic.digest(), chunked.digest(),
+            "oversized chunk must not perturb the schedule");
+    }
+}
+
+/// Chunked + slack-ordered runs are deterministic: same seed, same digest.
+#[test]
+fn chunked_slack_run_is_deterministic() {
+    let a = run_with(Some(256), AdmissionPolicy::SloSlack, 42, 5.0);
+    let b = run_with(Some(256), AdmissionPolicy::SloSlack, 42, 5.0);
+    assert_eq!(a.digest(), b.digest());
+    assert!(a.completed.len() > 10);
+}
+
+/// Fifo vs slack ordering on a best-effort-only trace is identical up to
+/// queue order — with every slack infinite, sorting ties break by
+/// arrival, which *is* FIFO order.
+#[test]
+fn slack_ordering_degenerates_to_fifo_without_classes() {
+    let fifo = run_with(Some(512), AdmissionPolicy::Fifo, 9, 4.0);
+    let slack = run_with(Some(512), AdmissionPolicy::SloSlack, 9, 4.0);
+    assert_eq!(fifo.digest(), slack.digest());
+}
+
+/// Slack-ordered admission lets a queued interactive request overtake an
+/// earlier-arrived batch request when the admission budget forces them to
+/// queue (the core head-of-line-blocking fix).
+#[test]
+fn slack_admission_overtakes_queued_batch_work() {
+    use hetis_workload::{Request, RequestId, SloClass, TenantId, Trace};
+    let cluster = paper_cluster();
+    let model = llama_13b();
+    let mk = |id: u64, arrival: f64, input: u32, class: SloClass| Request {
+        id: RequestId(id),
+        arrival,
+        input_len: input,
+        output_len: 8,
+        class,
+        tenant: TenantId(0),
+    };
+    // One long batch prompt occupies the first iteration; behind it a
+    // second batch prompt (earlier) and an interactive turn (later) queue
+    // under a tight admission budget that admits one prompt at a time.
+    let requests = vec![
+        mk(0, 0.0, 2000, SloClass::Batch),
+        mk(1, 0.01, 2000, SloClass::Batch),
+        mk(2, 0.02, 200, SloClass::Interactive),
+    ];
+    let trace = Trace::from_requests(requests, DatasetKind::ShareGpt);
+    let first_token_of = |admission: AdmissionPolicy, id: u64| -> f64 {
+        let cfg = EngineConfig {
+            max_batch_tokens: 2048,
+            prefill_chunk_tokens: Some(2048),
+            admission,
+            ..EngineConfig::default()
+        };
+        let report = run(
+            StaticPolicy::new("vllm", a100_topo()),
+            &cluster,
+            &model,
+            cfg,
+            &trace,
+        );
+        report
+            .completed
+            .iter()
+            .find(|c| c.id.0 == id)
+            .expect("completed")
+            .first_token
+    };
+    // FIFO: the interactive turn waits behind both batch prompts.
+    assert!(first_token_of(AdmissionPolicy::Fifo, 2) > first_token_of(AdmissionPolicy::Fifo, 1));
+    // Slack order: it overtakes the queued batch prompt.
+    assert!(
+        first_token_of(AdmissionPolicy::SloSlack, 2) < first_token_of(AdmissionPolicy::SloSlack, 1)
+    );
+    // And its TTFT strictly improves over FIFO.
+    assert!(
+        first_token_of(AdmissionPolicy::SloSlack, 2) < first_token_of(AdmissionPolicy::Fifo, 2)
+    );
+}

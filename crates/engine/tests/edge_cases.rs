@@ -54,6 +54,8 @@ fn single_token_outputs_complete_at_prefill() {
             arrival: i as f64 * 0.5,
             input_len: 64,
             output_len: 1,
+            class: Default::default(),
+            tenant: Default::default(),
         })
         .collect();
     let trace = Trace::from_requests(requests, DatasetKind::ShareGpt);

@@ -11,15 +11,21 @@
 //! Everything is deterministic given a seed: the same `(dataset, rate,
 //! seed, duration)` tuple always yields the same trace, which keeps every
 //! figure harness reproducible.
+//!
+//! The [`slo`] module adds the multi-tenant vocabulary on top: SLO
+//! classes with TTFT/TPOT targets, tenant tags, and a builder that
+//! merges per-tenant streams into one arrival-sorted trace.
 
 pub mod arrivals;
 pub mod datasets;
 pub mod dist;
 pub mod request;
+pub mod slo;
 pub mod trace;
 
 pub use arrivals::{ArrivalProcess, PiecewiseRate, Poisson};
 pub use datasets::{Dataset, DatasetKind};
 pub use dist::{Distribution, LogNormal, TruncatedLogNormal, Uniform};
 pub use request::{Request, RequestId};
+pub use slo::{multi_tenant_trace, SloClass, SloTarget, TenantId, TenantSpec};
 pub use trace::{Trace, TraceBuilder};

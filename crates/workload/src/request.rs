@@ -1,5 +1,7 @@
 //! The unit of work: one inference request.
 
+use crate::slo::{SloClass, TenantId};
+
 /// Cluster-unique request identifier, assigned in arrival order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RequestId(pub u64);
@@ -28,6 +30,11 @@ pub struct Request {
     /// Ground-truth number of generated tokens (≥ 1; the first is produced
     /// by the prefill iteration).
     pub output_len: u32,
+    /// Service class the scheduler grades and prioritizes this request by
+    /// ([`SloClass::BestEffort`] for untagged traces).
+    pub class: SloClass,
+    /// Issuing tenant (tenant 0 for single-tenant traces).
+    pub tenant: TenantId,
 }
 
 impl Request {
@@ -56,6 +63,8 @@ mod tests {
             arrival: 0.5,
             input_len: 100,
             output_len: 20,
+            class: SloClass::default(),
+            tenant: TenantId::default(),
         };
         assert_eq!(r.context_len(0), 100);
         assert_eq!(r.context_len(5), 105);

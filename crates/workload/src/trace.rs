@@ -88,6 +88,8 @@ impl TraceBuilder {
                     arrival: t,
                     input_len,
                     output_len,
+                    class: crate::slo::SloClass::default(),
+                    tenant: crate::slo::TenantId::default(),
                 }
             })
             .collect();

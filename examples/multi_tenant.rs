@@ -1,0 +1,87 @@
+//! Multi-tenant SLO-aware serving: an interactive chat tenant and a
+//! long-context summarization tenant share one heterogeneous cluster.
+//! Compares the FIFO-atomic scheduler against chunked prefill with
+//! slack-ordered admission and prints the per-class SLO report.
+//!
+//! ```bash
+//! cargo run --release --example multi_tenant
+//! ```
+
+use hetis::cluster::cluster::paper_cluster;
+use hetis::core::{HetisConfig, HetisPolicy, WorkloadProfile};
+use hetis::engine::{run, AdmissionPolicy, EngineConfig, RunReport};
+use hetis::model::llama_13b;
+use hetis::workload::{multi_tenant_trace, DatasetKind, SloClass, TenantId, TenantSpec};
+
+fn main() {
+    let cluster = paper_cluster();
+    let model = llama_13b();
+
+    // 1. Two tenants, one deployment. Tenant 0 is a chatbot: short
+    //    prompts, tight 1 s TTFT / 0.2 s TPOT targets. Tenant 1 submits
+    //    ~1.8k-token articles for summarization under loose batch
+    //    deadlines (30 s TTFT).
+    let specs = [
+        TenantSpec::steady(
+            TenantId(0),
+            DatasetKind::ShareGpt,
+            SloClass::Interactive,
+            6.0,
+        ),
+        TenantSpec::steady(TenantId(1), DatasetKind::LongBench, SloClass::Batch, 2.0),
+    ];
+    let trace = multi_tenant_trace(&specs, 7, 45.0);
+    println!(
+        "workload: {} requests from {} tenants over 45 s",
+        trace.len(),
+        specs.len()
+    );
+
+    // 2. Run Hetis twice on the same trace: once with the FIFO-atomic
+    //    scheduler (whole prompts admitted in arrival order) and once
+    //    with chunked prefill + slack-ordered admission.
+    let profile = WorkloadProfile::for_cluster(DatasetKind::ShareGpt, &cluster, &model, 0.3);
+    let run_with = |chunk: Option<u64>, admission: AdmissionPolicy| -> RunReport {
+        let cfg = EngineConfig {
+            prefill_chunk_tokens: chunk,
+            admission,
+            ..EngineConfig::default()
+        };
+        run(
+            HetisPolicy::new(HetisConfig::default(), profile),
+            &cluster,
+            &model,
+            cfg,
+            &trace,
+        )
+    };
+    let fifo = run_with(None, AdmissionPolicy::Fifo);
+    let slo = run_with(Some(512), AdmissionPolicy::SloSlack);
+
+    // 3. Per-class SLO report.
+    for (name, report) in [("fifo-atomic", &fifo), ("chunked+priority", &slo)] {
+        println!("\n== {name} ==");
+        for s in report.class_stats() {
+            println!(
+                "{:<12} completed {:>4}  attainment {:>6.1}%  p99 TTFT {:>6.3} s  p95 TPOT {:>6.3} s",
+                s.class.to_string(),
+                s.completed,
+                100.0 * s.attainment(),
+                s.p99_ttft,
+                s.p95_tpot,
+            );
+        }
+        println!(
+            "goodput (in-SLO tokens/s)  {:.0}   overall attainment {:.1}%",
+            report.goodput(),
+            100.0 * report.slo_attainment()
+        );
+    }
+
+    let gain = fifo.p99_ttft_of_class(SloClass::Interactive)
+        / slo.p99_ttft_of_class(SloClass::Interactive);
+    println!(
+        "\nchunked prefill + slack admission cuts interactive p99 TTFT by {gain:.2}x \
+         without sacrificing goodput"
+    );
+}
