@@ -4,7 +4,7 @@
 //! attention-time estimates. The standard epigraph trick turns it into a
 //! plain LP with one extra variable.
 
-use crate::simplex::{ConstraintOp, LinearProgram, LpError};
+use crate::simplex::{ConstraintOp, LpError, RawRow, Tableau};
 
 /// An affine expression `constant + coeffs · x`.
 #[derive(Debug, Clone)]
@@ -38,11 +38,20 @@ pub struct MinMaxSolution {
 }
 
 /// Builder for `min max_i exprᵢ(x)` over `x ≥ 0` with linear constraints.
-#[derive(Debug, Clone)]
+///
+/// Rows are stored flat (one `Vec<f64>` per kind, `n` entries per row) so
+/// a long-lived builder can be [`MinMaxBuilder::reset`] and refilled
+/// through [`MinMaxBuilder::push_max_term`] /
+/// [`MinMaxBuilder::push_constraint`] without allocating per row — the
+/// Dispatcher reuses one builder across every per-iteration solve.
+#[derive(Debug, Clone, Default)]
 pub struct MinMaxBuilder {
     n: usize,
-    exprs: Vec<AffineExpr>,
-    constraints: Vec<(Vec<f64>, ConstraintOp, f64)>,
+    expr_consts: Vec<f64>,
+    expr_coeffs: Vec<f64>,
+    cons_ops: Vec<ConstraintOp>,
+    cons_rhs: Vec<f64>,
+    cons_coeffs: Vec<f64>,
 }
 
 impl MinMaxBuilder {
@@ -50,9 +59,19 @@ impl MinMaxBuilder {
     pub fn new(n: usize) -> Self {
         MinMaxBuilder {
             n,
-            exprs: Vec::new(),
-            constraints: Vec::new(),
+            ..Default::default()
         }
+    }
+
+    /// Clears all rows and re-dimensions to `n` variables, keeping the
+    /// allocated capacity for reuse.
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.expr_consts.clear();
+        self.expr_coeffs.clear();
+        self.cons_ops.clear();
+        self.cons_rhs.clear();
+        self.cons_coeffs.clear();
     }
 
     /// Number of decision variables.
@@ -60,46 +79,81 @@ impl MinMaxBuilder {
         self.n
     }
 
+    /// Appends a zeroed max-term row and returns its coefficient slice
+    /// for in-place filling (the allocation-free
+    /// [`MinMaxBuilder::add_max_term`]).
+    pub fn push_max_term(&mut self, constant: f64) -> &mut [f64] {
+        self.expr_consts.push(constant);
+        let start = self.expr_coeffs.len();
+        self.expr_coeffs.resize(start + self.n, 0.0);
+        &mut self.expr_coeffs[start..]
+    }
+
+    /// Appends a zeroed constraint row `coeffs · x (op) rhs` and returns
+    /// its coefficient slice for in-place filling.
+    pub fn push_constraint(&mut self, op: ConstraintOp, rhs: f64) -> &mut [f64] {
+        self.cons_ops.push(op);
+        self.cons_rhs.push(rhs);
+        let start = self.cons_coeffs.len();
+        self.cons_coeffs.resize(start + self.n, 0.0);
+        &mut self.cons_coeffs[start..]
+    }
+
     /// Adds one expression under the max.
     pub fn add_max_term(&mut self, expr: AffineExpr) {
         assert_eq!(expr.coeffs.len(), self.n);
-        self.exprs.push(expr);
+        self.push_max_term(expr.constant)
+            .copy_from_slice(&expr.coeffs);
     }
 
     /// Adds a side constraint `coeffs · x (op) rhs`.
     pub fn add_constraint(&mut self, coeffs: Vec<f64>, op: ConstraintOp, rhs: f64) {
         assert_eq!(coeffs.len(), self.n);
-        self.constraints.push((coeffs, op, rhs));
+        self.push_constraint(op, rhs).copy_from_slice(&coeffs);
     }
 
-    /// Solves via the epigraph LP.
+    /// Iterates the max terms as `(constant, coeffs)` pairs.
+    pub fn max_terms(&self) -> impl Iterator<Item = (f64, &[f64])> {
+        self.expr_consts
+            .iter()
+            .zip(self.expr_coeffs.chunks_exact(self.n.max(1)))
+            .map(|(&c, row)| (c, row))
+    }
+
+    /// Solves via the epigraph LP: variables `[x₀..xₙ₋₁, t]`, minimize
+    /// `t` subject to `coeffs·x − t ≤ −constant` per max term plus the
+    /// side constraints. Rows are lowered straight into the simplex
+    /// tableau — no intermediate program is materialized.
     pub fn solve(&self) -> Result<MinMaxSolution, LpError> {
-        assert!(!self.exprs.is_empty(), "no max terms");
-        // Variables: [x₀..xₙ₋₁, t]; minimize t.
-        let nv = self.n + 1;
-        let mut lp = LinearProgram::new(nv);
-        lp.objective = vec![0.0; nv];
-        lp.objective[self.n] = 1.0;
-
-        for expr in &self.exprs {
-            // coeffs·x - t ≤ -constant
-            let mut row = Vec::with_capacity(nv);
-            row.extend_from_slice(&expr.coeffs);
-            row.push(-1.0);
-            lp.add_constraint(row, ConstraintOp::Le, -expr.constant);
-        }
-        for (coeffs, op, rhs) in &self.constraints {
-            let mut row = Vec::with_capacity(nv);
-            row.extend_from_slice(coeffs);
-            row.push(0.0);
-            lp.add_constraint(row, *op, *rhs);
-        }
-
-        let sol = lp.solve()?;
-        let x = sol.x[..self.n].to_vec();
+        assert!(!self.expr_consts.is_empty(), "no max terms");
+        let n = self.n;
+        let nv = n + 1;
+        let n_terms = self.expr_consts.len();
+        let m = n_terms + self.cons_ops.len();
+        let t = Tableau::build_from(nv, m, |i| {
+            if i < n_terms {
+                RawRow {
+                    coeffs: &self.expr_coeffs[i * n..(i + 1) * n],
+                    extra: Some(-1.0),
+                    op: ConstraintOp::Le,
+                    rhs: -self.expr_consts[i],
+                }
+            } else {
+                let k = i - n_terms;
+                RawRow {
+                    coeffs: &self.cons_coeffs[k * n..(k + 1) * n],
+                    extra: Some(0.0),
+                    op: self.cons_ops[k],
+                    rhs: self.cons_rhs[k],
+                }
+            }
+        });
+        let mut objective = vec![0.0; nv];
+        objective[n] = 1.0;
+        let sol = t.solve(&objective)?;
         Ok(MinMaxSolution {
             max_value: sol.objective,
-            x,
+            x: sol.x[..n].to_vec(),
         })
     }
 }
@@ -181,9 +235,14 @@ mod tests {
         b.add_constraint(vec![1.0, 1.0, 1.0], ConstraintOp::Eq, 6.0);
         let s = b.solve().unwrap();
         let max_eval = b
-            .exprs
-            .iter()
-            .map(|e| e.eval(&s.x))
+            .max_terms()
+            .map(|(c, coeffs)| {
+                c + coeffs
+                    .iter()
+                    .zip(s.x.iter())
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+            })
             .fold(f64::NEG_INFINITY, f64::max);
         assert!((max_eval - s.max_value).abs() < 1e-6);
     }

@@ -96,8 +96,9 @@ impl LinearProgram {
     /// Numerical note: the tableau works in the caller's units. Callers
     /// must pose problems in *sensibly scaled* units (coefficients within
     /// a few orders of magnitude of 1); the dispatcher builds its LPs in
-    /// milliseconds/heads/gigabytes for exactly this reason. Row scaling
-    /// is applied here so no single constraint dominates pivoting.
+    /// milliseconds/heads/gigabytes for exactly this reason. Row
+    /// equilibration is applied while the tableau is laid out so no
+    /// single constraint dominates pivoting.
     pub fn solve(&self) -> Result<LpSolution, LpError> {
         let n = self.num_vars();
         for (i, c) in self.constraints.iter().enumerate() {
@@ -108,50 +109,62 @@ impl LinearProgram {
                 )));
             }
         }
-        // Row equilibration: scale each constraint so its largest
-        // coefficient is ~1 (direction preserved; solution unchanged).
-        let mut scaled = LinearProgram::new(n);
-        scaled.objective = self.objective.clone();
-        for c in &self.constraints {
-            let row_max = c
-                .coeffs
-                .iter()
-                .fold(0.0f64, |m, &a| m.max(a.abs()))
-                .max(f64::MIN_POSITIVE);
-            scaled.constraints.push(Constraint {
-                coeffs: c.coeffs.iter().map(|&a| a / row_max).collect(),
+        let t = Tableau::build_from(n, self.constraints.len(), |i| {
+            let c = &self.constraints[i];
+            RawRow {
+                coeffs: &c.coeffs,
+                extra: None,
                 op: c.op,
-                rhs: c.rhs / row_max,
-            });
-        }
-        Tableau::build(&scaled).solve(&scaled.objective)
+                rhs: c.rhs,
+            }
+        });
+        t.solve(&self.objective)
     }
 }
 
-/// Internal simplex tableau with an explicit basis.
-struct Tableau {
-    /// rows × cols coefficient matrix; column layout:
-    /// [structural | slack/surplus | artificial], then rhs is separate.
-    a: Vec<Vec<f64>>,
+/// One unscaled constraint row handed to [`Tableau::build_from`]:
+/// structural coefficients, an optional trailing extra column (the
+/// min–max front-end's epigraph `t` coefficient), operator and rhs.
+pub(crate) struct RawRow<'a> {
+    /// Structural coefficients (without the extra column).
+    pub coeffs: &'a [f64],
+    /// Coefficient of the one trailing column, when the problem has one.
+    pub extra: Option<f64>,
+    /// Relational operator.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// Internal simplex tableau with an explicit basis. The coefficient
+/// matrix is one row-major `Vec<f64>` (`m × n_total`) so pivoting walks
+/// contiguous memory and row operations never allocate.
+pub(crate) struct Tableau {
+    a: Vec<f64>,
     rhs: Vec<f64>,
     basis: Vec<usize>,
+    /// Live row count (rows can be dropped after phase 1).
+    m: usize,
     n_struct: usize,
     n_total: usize,
     artificial_start: usize,
 }
 
 impl Tableau {
-    fn build(lp: &LinearProgram) -> Tableau {
-        let m = lp.constraints.len();
-        let n = lp.num_vars();
-
-        // Count auxiliary columns.
+    /// Lays out the scaled tableau for `m` rows of `n_struct` structural
+    /// columns (the extra column, when present, is column `n_struct-1`).
+    /// Each row is equilibrated so its largest coefficient is ~1
+    /// (direction preserved; solution unchanged).
+    pub(crate) fn build_from<'a, F>(n_struct: usize, m: usize, get: F) -> Tableau
+    where
+        F: Fn(usize) -> RawRow<'a>,
+    {
+        // Count auxiliary columns; orientation (rhs ≥ 0) decides layout.
         let mut n_slack = 0;
         let mut n_art = 0;
-        for c in &lp.constraints {
-            // Orient rhs non-negative first to decide the aux layout.
-            let (op, rhs) = oriented(c);
-            match op {
+        for i in 0..m {
+            let r = get(i);
+            match oriented(r.op, r.rhs) {
                 ConstraintOp::Le => n_slack += 1,
                 ConstraintOp::Ge => {
                     n_slack += 1;
@@ -159,39 +172,53 @@ impl Tableau {
                 }
                 ConstraintOp::Eq => n_art += 1,
             }
-            let _ = rhs;
         }
 
-        let n_total = n + n_slack + n_art;
-        let artificial_start = n + n_slack;
-        let mut a = vec![vec![0.0; n_total]; m];
+        let n_total = n_struct + n_slack + n_art;
+        let artificial_start = n_struct + n_slack;
+        let mut a = vec![0.0; m * n_total];
         let mut rhs = vec![0.0; m];
         let mut basis = vec![usize::MAX; m];
 
-        let mut slack_col = n;
+        let mut slack_col = n_struct;
         let mut art_col = artificial_start;
-        for (i, c) in lp.constraints.iter().enumerate() {
-            let (op, b) = oriented(c);
-            let sign = if c.rhs < 0.0 { -1.0 } else { 1.0 };
-            for (j, &v) in c.coeffs.iter().enumerate() {
-                a[i][j] = sign * v;
+        for i in 0..m {
+            let r = get(i);
+            let row = &mut a[i * n_total..(i + 1) * n_total];
+            let row_max = r
+                .coeffs
+                .iter()
+                .fold(0.0f64, |acc, &v| acc.max(v.abs()))
+                .max(r.extra.map_or(0.0, f64::abs))
+                .max(f64::MIN_POSITIVE);
+            let rhs_scaled = r.rhs / row_max;
+            let sign = if rhs_scaled < 0.0 { -1.0 } else { 1.0 };
+            for (dst, &v) in row.iter_mut().zip(r.coeffs.iter()) {
+                *dst = sign * (v / row_max);
             }
-            rhs[i] = b;
-            match op {
+            if let Some(e) = r.extra {
+                row[n_struct - 1] = sign * (e / row_max);
+            }
+            rhs[i] = if rhs_scaled < 0.0 {
+                -rhs_scaled
+            } else {
+                rhs_scaled
+            };
+            match oriented(r.op, r.rhs) {
                 ConstraintOp::Le => {
-                    a[i][slack_col] = 1.0;
+                    row[slack_col] = 1.0;
                     basis[i] = slack_col;
                     slack_col += 1;
                 }
                 ConstraintOp::Ge => {
-                    a[i][slack_col] = -1.0; // surplus
+                    row[slack_col] = -1.0; // surplus
                     slack_col += 1;
-                    a[i][art_col] = 1.0;
+                    row[art_col] = 1.0;
                     basis[i] = art_col;
                     art_col += 1;
                 }
                 ConstraintOp::Eq => {
-                    a[i][art_col] = 1.0;
+                    row[art_col] = 1.0;
                     basis[i] = art_col;
                     art_col += 1;
                 }
@@ -202,13 +229,14 @@ impl Tableau {
             a,
             rhs,
             basis,
-            n_struct: n,
+            m,
+            n_struct,
             n_total,
             artificial_start,
         }
     }
 
-    fn solve(mut self, objective: &[f64]) -> Result<LpSolution, LpError> {
+    pub(crate) fn solve(mut self, objective: &[f64]) -> Result<LpSolution, LpError> {
         // ---- Phase 1: minimize the sum of artificials.
         if self.artificial_start < self.n_total {
             let mut phase1 = vec![0.0; self.n_total];
@@ -240,7 +268,8 @@ impl Tableau {
     /// optimal objective value. Artificial columns are never re-admitted
     /// once phase 1 completes (their reduced costs are forced up).
     fn optimize(&mut self, cost: &[f64]) -> Result<f64, LpError> {
-        let m = self.a.len();
+        let m = self.m;
+        let nt = self.n_total;
         let block_artificials = cost[..self.artificial_start]
             .iter()
             .all(|&c| c.abs() < f64::INFINITY)
@@ -273,7 +302,7 @@ impl Tableau {
                 for (row, &bcol) in self.basis.iter().enumerate() {
                     let cb = cost[bcol];
                     if cb != 0.0 {
-                        red -= cb * self.a[row][j];
+                        red -= cb * self.a[row * nt + j];
                     }
                 }
                 if red < -EPS {
@@ -295,7 +324,7 @@ impl Tableau {
             let mut leaving: Option<usize> = None;
             let mut best_ratio = f64::INFINITY;
             for row in 0..m {
-                let aij = self.a[row][e];
+                let aij = self.a[row * nt + e];
                 if aij > EPS {
                     let ratio = self.rhs[row] / aij;
                     let better = match leaving {
@@ -319,27 +348,37 @@ impl Tableau {
         Err(LpError::Malformed("simplex iteration cap exceeded".into()))
     }
 
-    /// Gauss pivot on (row, col).
+    /// Gauss pivot on (row, col), in place: the pivot row and each target
+    /// row are disjoint slices of the flat matrix, so a split borrow
+    /// replaces the old per-pivot row clone.
     fn pivot(&mut self, row: usize, col: usize) {
-        let m = self.a.len();
-        let p = self.a[row][col];
+        let m = self.m;
+        let nt = self.n_total;
+        let p = self.a[row * nt + col];
         debug_assert!(p.abs() > EPS);
         let inv = 1.0 / p;
-        for v in self.a[row].iter_mut() {
+        for v in &mut self.a[row * nt..(row + 1) * nt] {
             *v *= inv;
         }
         self.rhs[row] *= inv;
+        let rhs_pivot = self.rhs[row];
         for r in 0..m {
             if r == row {
                 continue;
             }
-            let factor = self.a[r][col];
+            let factor = self.a[r * nt + col];
             if factor == 0.0 {
                 continue;
             }
             // Row operation r := r - factor * pivot_row.
-            let (pivot_row_vals, rhs_pivot) = (self.a[row].clone(), self.rhs[row]);
-            for (v, pv) in self.a[r].iter_mut().zip(pivot_row_vals.iter()) {
+            let (pivot_row, target) = if r < row {
+                let (lo, hi) = self.a.split_at_mut(row * nt);
+                (&hi[..nt], &mut lo[r * nt..(r + 1) * nt])
+            } else {
+                let (lo, hi) = self.a.split_at_mut(r * nt);
+                (&lo[row * nt..(row + 1) * nt], &mut hi[..nt])
+            };
+            for (v, pv) in target.iter_mut().zip(pivot_row.iter()) {
                 *v -= factor * pv;
             }
             self.rhs[r] -= factor * rhs_pivot;
@@ -354,13 +393,13 @@ impl Tableau {
     /// After phase 1: pivot any artificial still in the basis out on a
     /// non-artificial column, or drop its (redundant) row.
     fn evict_artificials(&mut self) {
-        let m = self.a.len();
+        let nt = self.n_total;
         let mut drop_rows = Vec::new();
-        for row in 0..m {
+        for row in 0..self.m {
             if self.basis[row] >= self.artificial_start {
                 // Find a non-artificial column with nonzero coefficient.
                 let col = (0..self.artificial_start)
-                    .find(|&j| self.a[row][j].abs() > EPS && !self.basis.contains(&j));
+                    .find(|&j| self.a[row * nt + j].abs() > EPS && !self.basis.contains(&j));
                 match col {
                     Some(j) => self.pivot(row, j),
                     None => drop_rows.push(row),
@@ -369,24 +408,25 @@ impl Tableau {
         }
         // Remove redundant rows back-to-front.
         for &row in drop_rows.iter().rev() {
-            self.a.remove(row);
+            self.a.drain(row * nt..(row + 1) * nt);
             self.rhs.remove(row);
             self.basis.remove(row);
+            self.m -= 1;
         }
     }
 }
 
-/// Orients a constraint so rhs ≥ 0, flipping the operator if needed.
-fn oriented(c: &Constraint) -> (ConstraintOp, f64) {
-    if c.rhs >= 0.0 {
-        (c.op, c.rhs)
+/// Orients a constraint so its rhs becomes non-negative, flipping the
+/// operator if needed.
+fn oriented(op: ConstraintOp, rhs: f64) -> ConstraintOp {
+    if rhs >= 0.0 {
+        op
     } else {
-        let flipped = match c.op {
+        match op {
             ConstraintOp::Le => ConstraintOp::Ge,
             ConstraintOp::Ge => ConstraintOp::Le,
             ConstraintOp::Eq => ConstraintOp::Eq,
-        };
-        (flipped, -c.rhs)
+        }
     }
 }
 
