@@ -4,6 +4,23 @@ use hetis_model::ModelSpec;
 use hetis_parallel::{DecodeBatch, PrefillBatch};
 use hetis_workload::{Dataset, DatasetKind};
 
+/// Which solver the Dispatcher uses for the per-iteration Eq. (7)
+/// min–max dispatch and the §5.3.1 ideal-time relaxation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchSolver {
+    /// Structure-exploiting parametric water-fill
+    /// ([`hetis_lp::WaterFill`]): exact on the fast path, transparently
+    /// falling back to the simplex oracle when a capacity row binds at
+    /// the optimum. The default — dispatching runs every iteration, so
+    /// it must cost microseconds, not simplex pivots.
+    #[default]
+    WaterFill,
+    /// Generic dense two-phase simplex on the epigraph LP (the pre-fast-
+    /// path behavior, bit-for-bit). Retained as the property-test oracle
+    /// and for pinning runs.
+    Simplex,
+}
+
 /// Tunables of the Hetis system, with the paper's defaults.
 #[derive(Debug, Clone)]
 pub struct HetisConfig {
@@ -22,6 +39,8 @@ pub struct HetisConfig {
     /// Upper bound on re-dispatch operations triggered per scheduling
     /// round (the paper re-dispatches "one request" at a time).
     pub max_redispatch_per_round: usize,
+    /// Eq. (7) solver selection (default [`DispatchSolver::WaterFill`]).
+    pub solver: DispatchSolver,
 }
 
 impl Default for HetisConfig {
@@ -33,6 +52,7 @@ impl Default for HetisConfig {
             profile_noise: 0.02,
             profile_seed: 0x4E75,
             max_redispatch_per_round: 1,
+            solver: DispatchSolver::default(),
         }
     }
 }
@@ -113,6 +133,7 @@ mod tests {
         assert_eq!(c.delta, 0.05);
         assert_eq!(c.theta, 0.5);
         assert_eq!(c.profile_grid, 8);
+        assert_eq!(c.solver, DispatchSolver::WaterFill);
     }
 
     #[test]

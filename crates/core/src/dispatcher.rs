@@ -16,12 +16,23 @@
 //! `h_i(t)`/`g_i(t)` enter as constants read from the KV state. The
 //! fractional solution is rounded to whole KV-head groups (Eq. 5).
 
-use crate::config::HetisConfig;
+use crate::config::{DispatchSolver, HetisConfig};
 use crate::profiler::Profiler;
 use hetis_cluster::{Cluster, DeviceId};
 use hetis_engine::{KvState, StageTopo};
-use hetis_lp::{round_to_groups, AffineExpr, ConstraintOp, MinMaxBuilder};
+use hetis_lp::{
+    round_to_groups, ConstraintOp, MinMaxBuilder, MinMaxSolution, WaterFill, WfDemand, WfDevice,
+    WfOutcome,
+};
 use hetis_model::ModelSpec;
+use std::cell::RefCell;
+
+// The solvers are fed milliseconds / heads / gigabytes so all
+// coefficients sit within a few orders of magnitude of 1 (raw
+// seconds-per-byte coefficients are ~1e-13 and starve the simplex
+// optimality test).
+const MS: f64 = 1e3;
+const GB: f64 = 1e-9;
 
 /// Per-request outcome: heads per stage-device (same device order as the
 /// stage's `attention_devices()`).
@@ -33,18 +44,57 @@ pub struct DispatchOutcome {
     pub predicted_max: f64,
 }
 
+/// Reusable per-solve workspace: model coefficients, LP rows and rounding
+/// caps all live here so the per-iteration dispatch path allocates only
+/// its returned `heads` vectors.
+///
+/// The coefficient buffers are *method-local* scratch and their units
+/// differ by writer: `dispatch_adjusted` stages raw seconds-per-unit
+/// values and applies the `MS`/`GB` scaling at row-build time (this
+/// exact operation order is what keeps `DispatchSolver::Simplex`
+/// bit-identical to the pre-fast-path dispatcher), while
+/// `ideal_attention_time` stages already-scaled values. Never read one
+/// method's staging from the other.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    builder: MinMaxBuilder,
+    wf: WaterFill,
+    h_now: Vec<f64>,
+    g_now: Vec<f64>,
+    free: Vec<f64>,
+    a_eff: Vec<f64>,
+    b_coef: Vec<f64>,
+    constants: Vec<f64>,
+    caps: Vec<u32>,
+    fast_solves: u64,
+    fallback_solves: u64,
+    simplex_solves: u64,
+}
+
 /// The online head-wise dispatcher.
 #[derive(Debug, Clone)]
 pub struct Dispatcher {
     profiler: Profiler,
-    #[allow(dead_code)]
     cfg: HetisConfig,
+    scratch: RefCell<Scratch>,
 }
 
 impl Dispatcher {
     /// A dispatcher using `profiler`'s fitted models.
     pub fn new(profiler: Profiler, cfg: HetisConfig) -> Self {
-        Dispatcher { profiler, cfg }
+        Dispatcher {
+            profiler,
+            cfg,
+            scratch: RefCell::new(Scratch::default()),
+        }
+    }
+
+    /// Solver telemetry since construction: `(fast-path water-fill
+    /// solves, simplex solves)` — the latter counts both capacity-bound
+    /// fallbacks and [`DispatchSolver::Simplex`]-mode solves.
+    pub fn solver_counts(&self) -> (u64, u64) {
+        let sc = self.scratch.borrow();
+        (sc.fast_solves, sc.fallback_solves + sc.simplex_solves)
     }
 
     /// Access to the underlying profiler (e.g. for perturbation).
@@ -161,102 +211,122 @@ impl Dispatcher {
         let layers = stage.primary.layers as f64;
         let anchor = stage.primary.devices[0];
 
+        let mut sc = self.scratch.borrow_mut();
+        let sc = &mut *sc;
+
         // Current loads and capacities, minus any explicit removals.
-        let mut h_now: Vec<f64> = devices
-            .iter()
-            .map(|&d| kv.device(d).stage_query_heads(stage_idx, r) as f64)
-            .collect();
-        let mut g_now: Vec<f64> = devices
-            .iter()
-            .map(|&d| kv.device(d).stage_kv_bytes_per_layer(stage_idx))
-            .collect();
+        sc.h_now.clear();
+        sc.h_now.extend(
+            devices
+                .iter()
+                .map(|&d| kv.device(d).stage_query_heads(stage_idx, r) as f64),
+        );
+        sc.g_now.clear();
+        sc.g_now.extend(
+            devices
+                .iter()
+                .map(|&d| kv.device(d).stage_kv_bytes_per_layer(stage_idx)),
+        );
         // Free bytes in per-layer units (entries are layers-deep).
-        let mut free_layer_bytes: Vec<f64> = devices
-            .iter()
-            .map(|&d| kv.device(d).free_bytes() as f64 / layers)
-            .collect();
+        sc.free.clear();
+        sc.free.extend(
+            devices
+                .iter()
+                .map(|&d| kv.device(d).free_bytes() as f64 / layers),
+        );
         for &(dev, dh, dg) in removed {
             if let Some(i) = devices.iter().position(|&d| d == dev) {
-                h_now[i] = (h_now[i] - dh).max(0.0);
-                g_now[i] = (g_now[i] - dg).max(0.0);
-                free_layer_bytes[i] += dg;
+                sc.h_now[i] = (sc.h_now[i] - dh).max(0.0);
+                sc.g_now[i] = (sc.g_now[i] - dg).max(0.0);
+                sc.free[i] += dg;
             }
         }
         if let Some(dev) = banned {
             if let Some(i) = devices.iter().position(|&d| d == dev) {
-                free_layer_bytes[i] = 0.0;
+                sc.free[i] = 0.0;
             }
         }
 
-        // Variables: x[j][i] laid out as j*n + i.
-        let nv = j * n;
-        let mut b = MinMaxBuilder::new(nv);
-
-        // The LP is posed in milliseconds / heads / gigabytes so all
-        // coefficients sit within a few orders of magnitude of 1 (raw
-        // seconds-per-byte coefficients are ~1e-13 and starve the simplex
-        // optimality test).
-        const MS: f64 = 1e3;
-        const GB: f64 = 1e-9;
+        // Per-device model coefficients of Eq. (7):
+        // f_i = a_eff·(h + Σx) + b·(g + κ Σ l x) + c [+ β for workers].
+        let per_head_bytes =
+            (2.0 + 2.0 / r as f64) * model.head_dim as f64 * model.dtype.bytes() as f64;
+        sc.a_eff.clear();
+        sc.b_coef.clear();
+        sc.constants.clear();
         for (i, &dev) in devices.iter().enumerate() {
             let m = self.profiler.attn_model(dev);
             let remote = !stage.primary.devices.contains(&dev);
-            // f_i = a(h + Σx) + b(g + κ Σ l x) + c  [+ transfer for workers]
-            let mut coeffs = vec![0.0; nv];
             let (gamma, beta) = if remote {
                 let lm = self.profiler.link_model(cluster, anchor, dev);
                 (lm.gamma, lm.beta)
             } else {
                 (0.0, 0.0)
             };
-            let per_head_bytes =
-                (2.0 + 2.0 / r as f64) * model.head_dim as f64 * model.dtype.bytes() as f64;
             let a_eff = m.a + gamma * per_head_bytes;
-            for (jj, &l) in new_reqs.iter().enumerate() {
-                let l_compute = (l as u64).min(compute_chunk.unwrap_or(u64::MAX)) as f64;
-                coeffs[jj * n + i] = (a_eff + m.b * kappa * l_compute) * MS;
-            }
-            let constant =
-                (a_eff * h_now[i] + m.b * g_now[i] + m.c + if remote { beta } else { 0.0 }) * MS;
-            b.add_max_term(AffineExpr { constant, coeffs });
-
-            // Capacity (7b): Σ_j x_iʲ · l_j · κ ≤ free_i (per-layer GB).
-            let mut cap = vec![0.0; nv];
-            for (jj, &l) in new_reqs.iter().enumerate() {
-                cap[jj * n + i] = l as f64 * kappa * GB;
-            }
-            b.add_constraint(cap, ConstraintOp::Le, free_layer_bytes[i] * GB);
+            sc.a_eff.push(a_eff);
+            sc.b_coef.push(m.b);
+            sc.constants.push(
+                (a_eff * sc.h_now[i] + m.b * sc.g_now[i] + m.c + if remote { beta } else { 0.0 })
+                    * MS,
+            );
         }
 
-        // Head integrity (7c): Σ_i x_iʲ = H.
-        for jj in 0..j {
-            let mut row = vec![0.0; nv];
-            for i in 0..n {
-                row[jj * n + i] = 1.0;
+        let sol = match self.cfg.solver {
+            DispatchSolver::WaterFill => {
+                // Structured fast path: one WfDevice per max term +
+                // capacity row, one WfDemand per head-integrity equality.
+                sc.wf.clear();
+                for i in 0..n {
+                    sc.wf.push_device(WfDevice {
+                        constant: sc.constants[i],
+                        alpha: sc.a_eff[i] * MS,
+                        beta: sc.b_coef[i] * MS,
+                        capacity: sc.free[i] * GB,
+                    });
+                }
+                for &l in new_reqs {
+                    let l_compute = (l as u64).min(compute_chunk.unwrap_or(u64::MAX)) as f64;
+                    sc.wf.push_demand(WfDemand {
+                        amount: h_total,
+                        p: 1.0,
+                        q: kappa * l_compute,
+                        u: l as f64 * kappa * GB,
+                    });
+                }
+                match sc.wf.solve() {
+                    WfOutcome::Solved(s) => {
+                        sc.fast_solves += 1;
+                        s
+                    }
+                    WfOutcome::CapacityBound => {
+                        sc.fallback_solves += 1;
+                        Self::solve_eq7_simplex(sc, n, new_reqs, kappa, compute_chunk, h_total)?
+                    }
+                    WfOutcome::Infeasible => return None,
+                }
             }
-            b.add_constraint(row, ConstraintOp::Eq, h_total);
-        }
-
-        let sol = b.solve().ok()?;
+            DispatchSolver::Simplex => {
+                sc.simplex_solves += 1;
+                Self::solve_eq7_simplex(sc, n, new_reqs, kappa, compute_chunk, h_total)?
+            }
+        };
 
         // Round per request, consuming per-device capacity as we go. The
         // caps carry a 2% safety margin: the engine allocates in whole
         // blocks, so exact-byte feasibility can fall just short at the
-        // allocator.
-        let mut remaining: Vec<f64> = free_layer_bytes;
+        // allocator. `sc.free` doubles as the remaining-capacity tracker.
         let mut heads: Vec<Vec<u32>> = Vec::with_capacity(j);
         for (jj, &l) in new_reqs.iter().enumerate() {
-            let x: Vec<f64> = (0..n).map(|i| sol.x[jj * n + i]).collect();
-            let caps: Vec<u32> = remaining
-                .iter()
-                .map(|&free| {
-                    let per_head = l as f64 * kappa;
-                    ((free * 0.98 / per_head).floor() as u32).min(model.num_heads)
-                })
-                .collect();
-            let rounded = round_to_groups(&x, r, model.num_heads, &caps)?;
+            let x = &sol.x[jj * n..(jj + 1) * n];
+            sc.caps.clear();
+            sc.caps.extend(sc.free.iter().map(|&free| {
+                let per_head = l as f64 * kappa;
+                ((free * 0.98 / per_head).floor() as u32).min(model.num_heads)
+            }));
+            let rounded = round_to_groups(x, r, model.num_heads, &sc.caps)?;
             for (i, &h) in rounded.iter().enumerate() {
-                remaining[i] -= h as f64 * l as f64 * kappa;
+                sc.free[i] -= h as f64 * l as f64 * kappa;
             }
             heads.push(rounded);
         }
@@ -265,6 +335,44 @@ impl Dispatcher {
             heads,
             predicted_max: sol.max_value / MS,
         })
+    }
+
+    /// Poses Eq. (7) as the epigraph LP over `x[j·n + i]` from the
+    /// coefficients staged in `sc` and solves it with the simplex oracle
+    /// (bit-identical to the pre-fast-path dispatcher).
+    fn solve_eq7_simplex(
+        sc: &mut Scratch,
+        n: usize,
+        new_reqs: &[u32],
+        kappa: f64,
+        compute_chunk: Option<u64>,
+        h_total: f64,
+    ) -> Option<MinMaxSolution> {
+        let j = new_reqs.len();
+        let nv = j * n;
+        sc.builder.reset(nv);
+        for i in 0..n {
+            let row = sc.builder.push_max_term(sc.constants[i]);
+            for (jj, &l) in new_reqs.iter().enumerate() {
+                let l_compute = (l as u64).min(compute_chunk.unwrap_or(u64::MAX)) as f64;
+                row[jj * n + i] = (sc.a_eff[i] + sc.b_coef[i] * kappa * l_compute) * MS;
+            }
+            // Capacity (7b): Σ_j x_iʲ · l_j · κ ≤ free_i (per-layer GB).
+            let cap = sc
+                .builder
+                .push_constraint(ConstraintOp::Le, sc.free[i] * GB);
+            for (jj, &l) in new_reqs.iter().enumerate() {
+                cap[jj * n + i] = l as f64 * kappa * GB;
+            }
+        }
+        // Head integrity (7c): Σ_i x_iʲ = H.
+        for jj in 0..j {
+            let row = sc.builder.push_constraint(ConstraintOp::Eq, h_total);
+            for i in 0..n {
+                row[jj * n + i] = 1.0;
+            }
+        }
+        sc.builder.solve().ok()
     }
 
     /// The relaxed ideal attention time `f*` over *all* load currently on
@@ -297,14 +405,19 @@ impl Dispatcher {
         }
 
         // Vars: [h'_0.. (heads), g'_0.. (GB)]; times in ms — see the unit
-        // note in `dispatch_adjusted`.
-        const MS: f64 = 1e3;
-        const GB: f64 = 1e-9;
-        let nv = 2 * n;
-        let mut b = MinMaxBuilder::new(nv);
+        // note at the top of the module. Two demands over the devices:
+        // the stage's total heads (α-cost only) and its total KV bytes
+        // (β-cost only, capacity-consuming), which is exactly the
+        // water-fill's rank-2 structure.
+        let mut sc = self.scratch.borrow_mut();
+        let sc = &mut *sc;
         let per_head_bytes =
             (2.0 + 2.0 / r as f64) * model.head_dim as f64 * model.dtype.bytes() as f64;
-        for (i, &dev) in devices.iter().enumerate() {
+        sc.a_eff.clear();
+        sc.b_coef.clear();
+        sc.constants.clear();
+        sc.free.clear();
+        for &dev in devices.iter() {
             let m = self.profiler.attn_model(dev);
             let remote = !stage.primary.devices.contains(&dev);
             let (gamma, beta) = if remote {
@@ -313,28 +426,54 @@ impl Dispatcher {
             } else {
                 (0.0, 0.0)
             };
-            let mut coeffs = vec![0.0; nv];
-            coeffs[i] = (m.a + gamma * per_head_bytes) * MS;
-            coeffs[n + i] = m.b * MS / GB;
-            b.add_max_term(AffineExpr {
-                constant: (m.c + if remote { beta } else { 0.0 }) * MS,
-                coeffs,
-            });
+            sc.a_eff.push((m.a + gamma * per_head_bytes) * MS);
+            sc.b_coef.push(m.b * MS / GB);
+            sc.constants
+                .push((m.c + if remote { beta } else { 0.0 }) * MS);
             // Capacity on g'_i: cannot exceed the device pool (per layer).
-            let pool_layer = kv.device(dev).pool_bytes() as f64 / layers;
-            let mut cap = vec![0.0; nv];
-            cap[n + i] = 1.0;
-            b.add_constraint(cap, ConstraintOp::Le, pool_layer * GB);
+            sc.free.push(kv.device(dev).pool_bytes() as f64 / layers);
         }
-        // Conservation.
-        let mut hrow = vec![0.0; nv];
-        let mut grow = vec![0.0; nv];
-        for i in 0..n {
-            hrow[i] = 1.0;
-            grow[n + i] = 1.0;
-        }
-        b.add_constraint(hrow, ConstraintOp::Eq, h_total);
-        b.add_constraint(grow, ConstraintOp::Eq, g_total * GB);
+
+        let solved = match self.cfg.solver {
+            DispatchSolver::WaterFill => {
+                sc.wf.clear();
+                for i in 0..n {
+                    sc.wf.push_device(WfDevice {
+                        constant: sc.constants[i],
+                        alpha: sc.a_eff[i],
+                        beta: sc.b_coef[i],
+                        capacity: sc.free[i] * GB,
+                    });
+                }
+                sc.wf.push_demand(WfDemand {
+                    amount: h_total,
+                    p: 1.0,
+                    q: 0.0,
+                    u: 0.0,
+                });
+                sc.wf.push_demand(WfDemand {
+                    amount: g_total * GB,
+                    p: 0.0,
+                    q: 1.0,
+                    u: 1.0,
+                });
+                match sc.wf.solve() {
+                    WfOutcome::Solved(s) => {
+                        sc.fast_solves += 1;
+                        Some(s)
+                    }
+                    WfOutcome::CapacityBound => {
+                        sc.fallback_solves += 1;
+                        Self::solve_ideal_simplex(sc, n, h_total, g_total)
+                    }
+                    WfOutcome::Infeasible => None,
+                }
+            }
+            DispatchSolver::Simplex => {
+                sc.simplex_solves += 1;
+                Self::solve_ideal_simplex(sc, n, h_total, g_total)
+            }
+        };
 
         // The epigraph LP charges every device's constant term even at
         // zero assigned load (a fixed-charge effect linear programs cannot
@@ -342,7 +481,38 @@ impl Dispatcher {
         // status quo. Clamp: the current assignment is itself feasible,
         // hence an upper bound on the true optimum.
         let (current, _) = self.current_attention_time(cluster, model, kv, stage, stage_idx);
-        b.solve().ok().map(|s| (s.max_value / MS).min(current))
+        solved.map(|s| (s.max_value / MS).min(current))
+    }
+
+    /// The §5.3.1 relaxation as the epigraph LP (oracle / fallback path,
+    /// bit-identical to the pre-fast-path dispatcher).
+    fn solve_ideal_simplex(
+        sc: &mut Scratch,
+        n: usize,
+        h_total: f64,
+        g_total: f64,
+    ) -> Option<MinMaxSolution> {
+        let nv = 2 * n;
+        sc.builder.reset(nv);
+        for i in 0..n {
+            let row = sc.builder.push_max_term(sc.constants[i]);
+            row[i] = sc.a_eff[i];
+            row[n + i] = sc.b_coef[i];
+            let cap = sc
+                .builder
+                .push_constraint(ConstraintOp::Le, sc.free[i] * GB);
+            cap[n + i] = 1.0;
+        }
+        // Conservation.
+        let hrow = sc.builder.push_constraint(ConstraintOp::Eq, h_total);
+        for v in hrow.iter_mut().take(n) {
+            *v = 1.0;
+        }
+        let grow = sc.builder.push_constraint(ConstraintOp::Eq, g_total * GB);
+        for v in grow.iter_mut().skip(n) {
+            *v = 1.0;
+        }
+        sc.builder.solve().ok()
     }
 
     /// The *current* estimated per-stage attention time, and the device

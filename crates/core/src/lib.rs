@@ -35,7 +35,7 @@ pub mod redispatch;
 pub mod split;
 pub mod system;
 
-pub use config::{HetisConfig, WorkloadProfile};
+pub use config::{DispatchSolver, HetisConfig, WorkloadProfile};
 pub use dispatcher::{DispatchOutcome, Dispatcher};
 pub use parallelizer::{search_topology, SearchOutcome};
 pub use profiler::{AttnModel, LinkModel, Profiler};

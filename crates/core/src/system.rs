@@ -115,19 +115,21 @@ impl Policy for HetisPolicy {
     }
 
     fn route(&mut self, _req: &Request, ctx: &PolicyCtx<'_>) -> usize {
-        // Least-loaded entry instance; round-robin tie-break.
+        // Least-loaded entry instance; round-robin tie-break. One pass
+        // over the live requests (the old per-entry closure re-scanned
+        // the whole map twice per entry instance).
+        let mut loads = vec![0usize; ctx.topology.instances.len()];
+        for r in ctx.requests.values() {
+            if r.phase != hetis_engine::Phase::Done {
+                loads[r.instance] += 1;
+            }
+        }
         let entries = ctx.topology.entry_instances();
-        let load = |i: usize| {
-            ctx.requests
-                .values()
-                .filter(|r| r.instance == i && r.phase != hetis_engine::Phase::Done)
-                .count()
-        };
-        let min_load = entries.iter().map(|&i| load(i)).min().unwrap_or(0);
+        let min_load = entries.iter().map(|&i| loads[i]).min().unwrap_or(0);
         let candidates: Vec<usize> = entries
             .iter()
             .copied()
-            .filter(|&i| load(i) == min_load)
+            .filter(|&i| loads[i] == min_load)
             .collect();
         let pick = candidates[self.rr % candidates.len()];
         self.rr += 1;
