@@ -20,7 +20,8 @@ use hetis_model::ModelSpec;
 use hetis_parallel::{device_weight_bytes, InstanceConfig, ParallelConfig, PrefillBatch};
 use hetis_sim::{Clock, EventQueue, FifoQueue, SimTime, SplitMix64};
 use hetis_workload::{RequestId, Trace};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Engine events.
 #[derive(Debug, Clone)]
@@ -72,13 +73,134 @@ struct Cohort {
     in_flight: Option<Ubatch>,
 }
 
+/// Admission-ordering key of one waiting request under
+/// [`AdmissionPolicy::SloSlack`]: the *static* TTFT deadline
+/// `arrival + target` (slack at any common `now` orders identically),
+/// then arrival, then id — a total order, so heap pops reproduce the old
+/// per-round full sort exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SlackKey {
+    deadline: f64,
+    arrival: f64,
+    id: RequestId,
+}
+
+impl Eq for SlackKey {}
+
+impl Ord for SlackKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Deadlines are finite-or-+inf and arrivals finite, so total_cmp
+        // agrees with the partial order the sort-based code used.
+        self.deadline
+            .total_cmp(&other.deadline)
+            .then(self.arrival.total_cmp(&other.arrival))
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for SlackKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An instance's admission queue. FIFO mode is the plain queue;
+/// [`AdmissionPolicy::SloSlack`] keeps a deadline-keyed binary heap that
+/// is maintained *incrementally* — the old implementation drained,
+/// sorted and rebuilt the whole queue on every dispatch round (O(n log n)
+/// per round), the heap pays O(log n) per enqueue instead.
+///
+/// `front` preserves the legacy requeue-at-front semantics: a blocked or
+/// evicted request overrides the deadline order until the next dispatch
+/// round folds it back into the heap (exactly when the old code's
+/// re-sort would have re-ranked it).
+#[derive(Debug)]
+enum WaitQueue {
+    Fifo(FifoQueue<RequestId>),
+    Slack {
+        heap: BinaryHeap<Reverse<SlackKey>>,
+        front: VecDeque<SlackKey>,
+    },
+}
+
+impl WaitQueue {
+    fn new(admission: AdmissionPolicy) -> WaitQueue {
+        match admission {
+            AdmissionPolicy::Fifo => WaitQueue::Fifo(FifoQueue::new()),
+            AdmissionPolicy::SloSlack => WaitQueue::Slack {
+                heap: BinaryHeap::new(),
+                front: VecDeque::new(),
+            },
+        }
+    }
+
+    fn enqueue(&mut self, key: SlackKey) {
+        match self {
+            WaitQueue::Fifo(q) => q.enqueue(key.id),
+            WaitQueue::Slack { heap, .. } => heap.push(Reverse(key)),
+        }
+    }
+
+    fn requeue_front(&mut self, key: SlackKey) {
+        match self {
+            WaitQueue::Fifo(q) => q.requeue_front(key.id),
+            WaitQueue::Slack { front, .. } => front.push_front(key),
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<RequestId> {
+        match self {
+            WaitQueue::Fifo(q) => q.dequeue(),
+            WaitQueue::Slack { heap, front } => front
+                .pop_front()
+                .map(|k| k.id)
+                .or_else(|| heap.pop().map(|Reverse(k)| k.id)),
+        }
+    }
+
+    fn peek(&self) -> Option<RequestId> {
+        match self {
+            WaitQueue::Fifo(q) => q.peek().copied(),
+            WaitQueue::Slack { heap, front } => front
+                .front()
+                .map(|k| k.id)
+                .or_else(|| heap.peek().map(|&Reverse(k)| k.id)),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            WaitQueue::Fifo(q) => q.len(),
+            WaitQueue::Slack { heap, front } => heap.len() + front.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Folds requeue-at-front overrides back into deadline order — the
+    /// per-round O(k log n) replacement for the old full re-sort.
+    fn merge_front(&mut self) {
+        if let WaitQueue::Slack { heap, front } = self {
+            for k in front.drain(..) {
+                heap.push(Reverse(k));
+            }
+        }
+    }
+}
+
 #[derive(Debug)]
 struct InstanceState {
-    waiting: FifoQueue<RequestId>,
+    waiting: WaitQueue,
     /// Hand-offs blocked on decode-side memory (Splitwise).
     pending_handoff: FifoQueue<RequestId>,
     cohorts: Vec<Cohort>,
     stage_free_at: Vec<SimTime>,
+    /// Requests of this instance in a running phase (Prefilling /
+    /// Decoding / Migrating), maintained incrementally on phase and
+    /// instance transitions so admission never scans the request map.
+    running: usize,
 }
 
 /// Builds a [`PolicyCtx`] from engine fields without borrowing the whole
@@ -135,6 +257,7 @@ pub struct Engine<'a, P: Policy> {
     prefill_tokens: u64,
     prefill_iterations: u64,
     max_prefill_iter_tokens: u64,
+    events_processed: u64,
 }
 
 /// Runs `policy` over `trace` on `cluster`/`model`; returns the report —
@@ -219,10 +342,11 @@ impl<'a, P: Policy> Engine<'a, P> {
             .instances
             .iter()
             .map(|i| InstanceState {
-                waiting: FifoQueue::new(),
+                waiting: WaitQueue::new(cfg.admission),
                 pending_handoff: FifoQueue::new(),
                 cohorts: (0..i.depth()).map(|_| Cohort::default()).collect(),
                 stage_free_at: vec![SimTime::ZERO; i.depth()],
+                running: 0,
             })
             .collect();
 
@@ -273,6 +397,7 @@ impl<'a, P: Policy> Engine<'a, P> {
             prefill_tokens: 0,
             prefill_iterations: 0,
             max_prefill_iter_tokens: 0,
+            events_processed: 0,
         };
         // Late joiners: a device whose first scheduled event is a Join is
         // absent at startup.
@@ -301,6 +426,7 @@ impl<'a, P: Policy> Engine<'a, P> {
                 break;
             }
             self.clock.advance_to(at);
+            self.events_processed += 1;
             match event {
                 Event::Arrival(i) => self.on_arrival(i),
                 Event::UbatchDone { inst, cohort } => self.on_ubatch_done(inst, cohort),
@@ -347,6 +473,7 @@ impl<'a, P: Policy> Engine<'a, P> {
             prefill_tokens: self.prefill_tokens,
             prefill_iterations: self.prefill_iterations,
             max_prefill_iter_tokens: self.max_prefill_iter_tokens,
+            events_processed: self.events_processed,
         }
     }
 
@@ -358,7 +485,7 @@ impl<'a, P: Policy> Engine<'a, P> {
         // not see the arrival itself as resident load.
         let inst = self.route_surviving(req, 0);
         self.requests.insert(req.id, RunningRequest::new(req, inst));
-        self.instances[inst].waiting.enqueue(req.id);
+        self.instances[inst].waiting.enqueue(slack_key(&req));
         self.try_dispatch(inst);
     }
 
@@ -661,21 +788,32 @@ impl<'a, P: Policy> Engine<'a, P> {
                 queued.push(rid);
             }
             for rid in queued {
-                let inst = self.route_surviving(self.requests[&rid].req, i);
+                let req = self.requests[&rid].req;
+                let inst = self.route_surviving(req, i);
                 if inst == i {
                     // Nowhere to go (whole cluster down): park it back.
-                    self.instances[i].waiting.enqueue(rid);
+                    self.instances[i].waiting.enqueue(slack_key(&req));
                     continue;
                 }
                 self.requests.get_mut(&rid).expect("live").instance = inst;
-                self.instances[inst].waiting.enqueue(rid);
+                self.instances[inst].waiting.enqueue(slack_key(&req));
             }
             // Hand-offs blocked on this instance lose their transfer.
+            // Entries can be stale — the request may have been
+            // churn-evicted (and even re-admitted elsewhere) since it
+            // parked — so apply the same staleness filter the
+            // drain-time retry (`try_start_handoff_transfer`) uses:
+            // only a genuinely parked hand-off (Migrating, idle,
+            // placed) is evicted here.
             let mut pending: Vec<RequestId> = Vec::new();
             while let Some(rid) = self.instances[i].pending_handoff.dequeue() {
                 pending.push(rid);
             }
             for rid in pending {
+                let r = &self.requests[&rid];
+                if r.phase != Phase::Migrating || r.in_flight || r.placement.is_none() {
+                    continue; // stale entry: the request lives elsewhere
+                }
                 let lost = self.churn_evict(rid);
                 record.evicted += 1;
                 record.lost_tokens += lost;
@@ -730,7 +868,14 @@ impl<'a, P: Policy> Engine<'a, P> {
         assert!(!r.in_flight, "cannot churn-evict an in-flight request");
         let lost = (r.req.input_len + r.generated) as u64;
         let old_inst = r.instance;
+        let was_running = matches!(
+            r.phase,
+            Phase::Prefilling | Phase::Decoding | Phase::Migrating
+        );
         r.preempt_recompute();
+        if was_running {
+            self.running_dec(old_inst);
+        }
         for d in 0..self.kv.len() {
             self.kv.device_mut(DeviceId(d as u32)).free_request(rid);
         }
@@ -741,7 +886,7 @@ impl<'a, P: Policy> Engine<'a, P> {
         let req = self.requests[&rid].req;
         let inst = self.route_surviving(req, old_inst);
         self.requests.get_mut(&rid).expect("live").instance = inst;
-        self.instances[inst].waiting.enqueue(rid);
+        self.instances[inst].waiting.enqueue(slack_key(&req));
         lost
     }
 
@@ -853,12 +998,13 @@ impl<'a, P: Policy> Engine<'a, P> {
             }
         }
 
-        // Slack-ordered admission: sort once per dispatch round — the
-        // cohort loop below only dequeues from the front and re-queues
-        // blocked prefixes in order, both of which preserve sortedness.
-        if self.cfg.admission == AdmissionPolicy::SloSlack {
-            self.sort_waiting_by_slack(inst);
-        }
+        // Slack-ordered admission: the queue is a deadline-keyed heap
+        // maintained incrementally on enqueue; the only per-round work is
+        // folding requeue-at-front overrides back into deadline order
+        // (no-op under FIFO). The cohort loop below only dequeues from
+        // the front and re-queues blocked prefixes in order, both of
+        // which preserve the admission order.
+        self.instances[inst].waiting.merge_front();
 
         let depth = self.topo.instances[inst].depth();
         for c in 0..depth {
@@ -893,42 +1039,45 @@ impl<'a, P: Policy> Engine<'a, P> {
         }
     }
 
-    /// Reorders an instance's waiting queue by ascending TTFT slack
-    /// (ties: arrival, then id) — the SLO-aware admission order.
-    ///
-    /// Slack is `(arrival + target) − now`; `now` is common to every
-    /// queued request, so the order reduces to the *static* deadline
-    /// `arrival + target`. Keys are computed once per element (not per
-    /// comparison) and the adaptive sort is O(n) on the already-sorted
-    /// queues that dominate steady state.
-    fn sort_waiting_by_slack(&mut self, inst: usize) {
-        if self.instances[inst].waiting.len() < 2 {
-            return;
-        }
-        let mut queued: Vec<(f64, f64, RequestId)> = Vec::new();
-        while let Some(rid) = self.instances[inst].waiting.dequeue() {
-            let r = &self.requests[&rid].req;
-            queued.push((r.arrival + r.class.target().ttft, r.arrival, rid));
-        }
-        queued.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("finite-or-inf deadline")
-                .then(a.1.partial_cmp(&b.1).expect("finite arrivals"))
-                .then(a.2.cmp(&b.2))
-        });
-        for (.., rid) in queued {
-            self.instances[inst].waiting.enqueue(rid);
-        }
-    }
-
-    /// Drops `rid` from a cohort's mid-prefill set.
+    /// Drops `rid` from its cohort's mid-prefill set. The owning cohort
+    /// is tracked on [`RunningRequest::cohort`] (set at admission), so
+    /// removal touches exactly one vector instead of `retain`-scanning
+    /// every cohort on every completion.
     fn remove_prefilling(&mut self, inst: usize, rid: RequestId) {
-        for c in self.instances[inst].cohorts.iter_mut() {
-            c.prefilling.retain(|&m| m != rid);
+        let c = self.requests[&rid].cohort;
+        let cohorts = &mut self.instances[inst].cohorts;
+        debug_assert!(
+            cohorts
+                .iter()
+                .enumerate()
+                .all(|(k, co)| k == c || !co.prefilling.contains(&rid)),
+            "request {rid:?} prefilling outside its tracked cohort {c}"
+        );
+        if let Some(pos) = cohorts[c].prefilling.iter().position(|&m| m == rid) {
+            cohorts[c].prefilling.remove(pos);
         }
     }
 
+    /// Requests of `inst` in a running phase, O(1): the per-instance
+    /// counter replaces the old scan over every live request (which made
+    /// each admission round O(#requests) and dominated large-trace runs).
+    /// Counter maintenance sites: admission (`try_form_prefill`),
+    /// completion (`finish`), both preemption paths (`evict`,
+    /// `churn_evict`) and the hand-off instance move
+    /// (`try_start_handoff_transfer`).
     fn running_count(&self, inst: usize) -> usize {
+        debug_assert_eq!(
+            self.instances[inst].running,
+            self.scan_running(inst),
+            "running counter drifted for instance {inst}"
+        );
+        self.instances[inst].running
+    }
+
+    /// The old O(#requests) definition, kept as the debug-mode oracle the
+    /// incremental counter is checked against (release builds compile the
+    /// `debug_assert_eq!` away).
+    fn scan_running(&self, inst: usize) -> usize {
         self.requests
             .values()
             .filter(|r| {
@@ -939,6 +1088,17 @@ impl<'a, P: Policy> Engine<'a, P> {
                     )
             })
             .count()
+    }
+
+    /// Marks one request of `inst` as entering a running phase.
+    fn running_inc(&mut self, inst: usize) {
+        self.instances[inst].running += 1;
+    }
+
+    /// Marks one request of `inst` as leaving a running phase.
+    fn running_dec(&mut self, inst: usize) {
+        debug_assert!(self.instances[inst].running > 0, "running underflow");
+        self.instances[inst].running -= 1;
     }
 
     fn try_form_prefill(&mut self, inst: usize, cohort: usize) -> bool {
@@ -989,7 +1149,7 @@ impl<'a, P: Policy> Engine<'a, P> {
             && tokens < budget
             && !self.instances[inst].waiting.is_empty()
         {
-            while let Some(&rid) = self.instances[inst].waiting.peek() {
+            while let Some(rid) = self.instances[inst].waiting.peek() {
                 let eff = self.requests[&rid].effective_input as u64;
                 let chunk = eff.min(chunk_cap);
                 if (!entries.is_empty() || !candidates.is_empty())
@@ -1032,10 +1192,12 @@ impl<'a, P: Policy> Engine<'a, P> {
                 }
             }
             // Re-queue the blocked request and everything after it (at the
-            // front: FIFO keeps positions; slack mode re-sorts anyway).
+            // front: FIFO keeps positions; slack mode folds the override
+            // back into deadline order next round).
             if let Some(k) = blocked_from {
                 for &rid in candidates[k..].iter().rev() {
-                    self.instances[inst].waiting.requeue_front(rid);
+                    let key = slack_key(&self.requests[&rid].req);
+                    self.instances[inst].waiting.requeue_front(key);
                 }
             }
         }
@@ -1052,6 +1214,7 @@ impl<'a, P: Policy> Engine<'a, P> {
             let chunk = (r.effective_input as u64).min(chunk_cap);
             entries.push((rid, chunk, 0));
             self.instances[inst].cohorts[cohort].prefilling.push(rid);
+            self.running_inc(inst);
         }
 
         // Chunked attention cost: a chunk of c tokens after p already-
@@ -1162,7 +1325,6 @@ impl<'a, P: Policy> Engine<'a, P> {
             stage_loads.push(loads);
         }
 
-        let for_flight = batch.clone();
         for rid in &batch {
             self.requests.get_mut(rid).expect("live").in_flight = true;
         }
@@ -1197,7 +1359,7 @@ impl<'a, P: Policy> Engine<'a, P> {
 
         self.instances[inst].cohorts[cohort].in_flight = Some(Ubatch {
             kind: UbatchKind::Decode,
-            reqs: for_flight,
+            reqs: batch,
             chunks: Vec::new(),
         });
         self.instances[inst].cohorts[cohort].last_kind = Some(UbatchKind::Decode);
@@ -1348,12 +1510,21 @@ impl<'a, P: Policy> Engine<'a, P> {
         let r = self.requests.get_mut(&rid).expect("live");
         assert!(!r.in_flight, "cannot evict an in-flight request");
         let inst = r.instance;
+        debug_assert!(
+            matches!(
+                r.phase,
+                Phase::Prefilling | Phase::Decoding | Phase::Migrating
+            ),
+            "victims are always running"
+        );
         r.preempt_recompute();
+        self.running_dec(inst);
         for d in 0..self.kv.len() {
             self.kv.device_mut(DeviceId(d as u32)).free_request(rid);
         }
         self.remove_cohort_member(inst, rid);
-        self.instances[inst].waiting.requeue_front(rid);
+        let key = slack_key(&self.requests[&rid].req);
+        self.instances[inst].waiting.requeue_front(key);
         self.preemptions += 1;
     }
 
@@ -1361,51 +1532,57 @@ impl<'a, P: Policy> Engine<'a, P> {
     /// transfer, pause the request until it lands. Returns false if the
     /// grows don't fit or the request is not re-dispatchable.
     fn execute_redispatch(&mut self, rid: RequestId, new_placement: HeadPlacement) -> bool {
-        let Some(r) = self.requests.get(&rid) else {
-            return false;
-        };
-        if r.phase != Phase::Decoding || r.in_flight {
-            return false;
-        }
         let gqa = self.model.gqa_ratio();
         if new_placement.validate(self.model.num_heads, gqa).is_err() {
             return false;
         }
-        let old = r.placement.clone().expect("decoding request placed");
-        if old == new_placement {
-            return false;
-        }
-        let inst = r.instance;
+        // Borrow the old placement in place (it used to be cloned per
+        // call); everything derived from it is extracted before the
+        // request is mutated.
+        let (inst, tokens, grows, shrinks) = {
+            let Some(r) = self.requests.get(&rid) else {
+                return false;
+            };
+            if r.phase != Phase::Decoding || r.in_flight {
+                return false;
+            }
+            let old = r.placement.as_ref().expect("decoding request placed");
+            if *old == new_placement {
+                return false;
+            }
+            let inst = r.instance;
 
-        // Token count from any resident entry (uniform across devices).
-        let tokens = old.per_stage[0]
-            .first()
-            .and_then(|&(d, _)| self.kv.device(d).entry(rid, 0))
-            .map(|e| e.tokens)
-            .expect("resident entry");
+            // Token count from any resident entry (uniform across devices).
+            let tokens = old.per_stage[0]
+                .first()
+                .and_then(|&(d, _)| self.kv.device(d).entry(rid, 0))
+                .map(|e| e.tokens)
+                .expect("resident entry");
 
-        // Per-stage grow/shrink sets.
-        let mut grows: Vec<(DeviceId, u16, u32, u32)> = Vec::new(); // dev, stage, groups, layers
-        let mut shrinks: Vec<(DeviceId, u16, u32)> = Vec::new();
-        for s in 0..new_placement.per_stage.len() {
-            let layers = self.topo.instances[inst].stages[s].primary.layers;
-            let mut devs: Vec<DeviceId> = old.per_stage[s]
-                .iter()
-                .map(|&(d, _)| d)
-                .chain(new_placement.per_stage[s].iter().map(|&(d, _)| d))
-                .collect();
-            devs.sort();
-            devs.dedup();
-            for d in devs {
-                let before = old.heads_on(s, d) / gqa;
-                let after = new_placement.heads_on(s, d) / gqa;
-                if after > before {
-                    grows.push((d, s as u16, after - before, layers));
-                } else if before > after {
-                    shrinks.push((d, s as u16, before - after));
+            // Per-stage grow/shrink sets.
+            let mut grows: Vec<(DeviceId, u16, u32, u32)> = Vec::new(); // dev, stage, groups, layers
+            let mut shrinks: Vec<(DeviceId, u16, u32)> = Vec::new();
+            for s in 0..new_placement.per_stage.len() {
+                let layers = self.topo.instances[inst].stages[s].primary.layers;
+                let mut devs: Vec<DeviceId> = old.per_stage[s]
+                    .iter()
+                    .map(|&(d, _)| d)
+                    .chain(new_placement.per_stage[s].iter().map(|&(d, _)| d))
+                    .collect();
+                devs.sort();
+                devs.dedup();
+                for d in devs {
+                    let before = old.heads_on(s, d) / gqa;
+                    let after = new_placement.heads_on(s, d) / gqa;
+                    if after > before {
+                        grows.push((d, s as u16, after - before, layers));
+                    } else if before > after {
+                        shrinks.push((d, s as u16, before - after));
+                    }
                 }
             }
-        }
+            (inst, tokens, grows, shrinks)
+        };
         if grows.is_empty() && shrinks.is_empty() {
             return false;
         }
@@ -1529,7 +1706,14 @@ impl<'a, P: Policy> Engine<'a, P> {
             src_bytes += self.kv.device(DeviceId(d as u32)).request_bytes(rid) as f64;
         }
 
-        // Allocate on target with the *current* context.
+        // Allocate on target with the *current* context. The request is
+        // mid-running (Prefilling or parked Migrating), so the running
+        // counter moves with its instance ownership.
+        let prev_inst = self.requests[&rid].instance;
+        if prev_inst != target {
+            self.running_dec(prev_inst);
+            self.running_inc(target);
+        }
         {
             let r = self.requests.get_mut(&rid).expect("live");
             r.instance = target;
@@ -1537,8 +1721,13 @@ impl<'a, P: Policy> Engine<'a, P> {
         }
         if !self.try_alloc_prompt(rid, placement) {
             // Roll back ownership.
+            let rollback = old_instance_of(&old_placement, &self.topo).unwrap_or(target);
+            if rollback != target {
+                self.running_dec(target);
+                self.running_inc(rollback);
+            }
             let r = self.requests.get_mut(&rid).expect("live");
-            r.instance = old_instance_of(&old_placement, &self.topo).unwrap_or(r.instance);
+            r.instance = rollback;
             r.placement = Some(old_placement);
             return false;
         }
@@ -1576,38 +1765,39 @@ impl<'a, P: Policy> Engine<'a, P> {
     /// After prefill on a Both-role instance: scatter remote head groups'
     /// KV to attention workers if the placement uses any, then decode.
     fn start_decoding_after_scatter(&mut self, rid: RequestId, inst: usize, cohort: usize) {
-        let placement = self.requests[&rid].placement.clone().expect("placed");
-        let tokens = self.requests[&rid].effective_input;
         let gqa = self.model.gqa_ratio();
         let now = self.clock.now().as_secs();
         let mut finish = now;
         let mut scattered = 0.0f64;
-        for (s, stage_pl) in placement.per_stage.iter().enumerate() {
-            let stage = &self.topo.instances[inst].stages[s];
-            let anchor = stage.primary.devices[0];
-            let layers = stage.primary.layers;
-            for &(dev, heads) in stage_pl {
-                if stage.primary.devices.contains(&dev) {
-                    continue;
+        let mut sources: Vec<DeviceId> = Vec::new();
+        // Borrow the placement in place (it used to be cloned per call).
+        {
+            let req = &self.requests[&rid];
+            let placement = req.placement.as_ref().expect("placed");
+            let tokens = req.effective_input;
+            for (s, stage_pl) in placement.per_stage.iter().enumerate() {
+                let stage = &self.topo.instances[inst].stages[s];
+                let anchor = stage.primary.devices[0];
+                let layers = stage.primary.layers;
+                sources.push(anchor);
+                for &(dev, heads) in stage_pl {
+                    if stage.primary.devices.contains(&dev) {
+                        continue;
+                    }
+                    let groups = heads / gqa;
+                    let bytes = self.kv.device(dev).bytes_needed(groups, tokens, layers) as f64;
+                    let link = self.cluster.link(anchor, dev);
+                    let done = self.migration.schedule(anchor.0, dev.0, link, bytes, now);
+                    finish = finish.max(done);
+                    scattered += bytes;
                 }
-                let groups = heads / gqa;
-                let bytes = self.kv.device(dev).bytes_needed(groups, tokens, layers) as f64;
-                let link = self.cluster.link(anchor, dev);
-                let done = self.migration.schedule(anchor.0, dev.0, link, bytes, now);
-                finish = finish.max(done);
-                scattered += bytes;
             }
         }
         let r = self.requests.get_mut(&rid).expect("live");
         r.cohort = cohort;
         if scattered > 0.0 {
             r.phase = Phase::Migrating;
-            r.migration_sources = placement
-                .per_stage
-                .iter()
-                .enumerate()
-                .map(|(s, _)| self.topo.instances[inst].stages[s].primary.devices[0])
-                .collect();
+            r.migration_sources = sources;
             r.migration_epoch += 1;
             let epoch = r.migration_epoch;
             self.migrations += 1;
@@ -1645,6 +1835,7 @@ impl<'a, P: Policy> Engine<'a, P> {
             tenant: r.req.tenant,
         };
         self.completed.push(rec);
+        self.running_dec(inst);
         self.remove_cohort_member(inst, rid);
     }
 
@@ -1672,16 +1863,39 @@ impl<'a, P: Policy> Engine<'a, P> {
         self.instances[inst].cohorts[target].members.push(rid);
     }
 
+    /// Drops `rid` from its cohort's member and mid-prefill lists,
+    /// located via the tracked [`RunningRequest::cohort`] (clamped: a
+    /// hand-off may carry a cohort index from a deeper instance until
+    /// `ensure_cohort_member` re-homes it).
     fn remove_cohort_member(&mut self, inst: usize, rid: RequestId) {
-        for c in self.instances[inst].cohorts.iter_mut() {
-            c.members.retain(|&m| m != rid);
-            c.prefilling.retain(|&m| m != rid);
+        let cohorts = &mut self.instances[inst].cohorts;
+        let c = self.requests[&rid].cohort.min(cohorts.len() - 1);
+        debug_assert!(
+            cohorts
+                .iter()
+                .enumerate()
+                .all(|(k, co)| k == c
+                    || (!co.members.contains(&rid) && !co.prefilling.contains(&rid))),
+            "request {rid:?} resident outside its tracked cohort {c}"
+        );
+        if let Some(pos) = cohorts[c].members.iter().position(|&m| m == rid) {
+            cohorts[c].members.remove(pos);
+        }
+        if let Some(pos) = cohorts[c].prefilling.iter().position(|&m| m == rid) {
+            cohorts[c].prefilling.remove(pos);
         }
     }
 
     /// Test/diagnostic access to the KV state.
     pub fn kv_state(&self) -> &KvState {
         &self.kv
+    }
+
+    /// Diagnostic: the per-instance incrementally-maintained running
+    /// counters (requests in Prefilling/Decoding/Migrating). Exposed so
+    /// tests can pin them against [`Engine::phase_summary`].
+    pub fn running_counts(&self) -> Vec<usize> {
+        self.instances.iter().map(|i| i.running).collect()
     }
 
     /// Diagnostic: per-instance (phase → count) summary of live requests.
@@ -1698,6 +1912,15 @@ impl<'a, P: Policy> Engine<'a, P> {
             *out[r.instance].entry(name).or_insert(0) += 1;
         }
         out
+    }
+}
+
+/// Admission key of a request (see [`SlackKey`]).
+fn slack_key(req: &hetis_workload::Request) -> SlackKey {
+    SlackKey {
+        deadline: req.arrival + req.class.target().ttft,
+        arrival: req.arrival,
+        id: req.id,
     }
 }
 

@@ -162,6 +162,13 @@ pub struct RunReport {
     /// chunked-prefill budget invariant: with `prefill_chunk_tokens ≤
     /// max_batch_tokens` this never exceeds `max_batch_tokens`.
     pub max_prefill_iter_tokens: u64,
+    /// Discrete events the engine processed (arrivals, microbatch
+    /// completions, migrations, samples, churn). A throughput profile
+    /// metric — deliberately *not* folded into [`RunReport::digest`],
+    /// which pins serving behavior only: event counts shift with
+    /// engine-internal mechanics (e.g. sampling cadence) without any
+    /// behavioral meaning.
+    pub events_processed: u64,
 }
 
 impl RunReport {
@@ -441,6 +448,7 @@ mod tests {
             prefill_tokens: 0,
             prefill_iterations: 0,
             max_prefill_iter_tokens: 0,
+            events_processed: 0,
         }
     }
 
