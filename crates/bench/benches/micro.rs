@@ -1,55 +1,123 @@
 //! Criterion micro-benchmarks of the hot scheduling paths: the dispatch
-//! LP, the ideal-time LP, head rounding, fetch-index assembly and
-//! migration planning.
+//! solvers (water-fill fast path vs the simplex oracle, at the paper's
+//! 6-device × 4-request shape and a 12×16 stress shape), the ideal-time
+//! relaxation, head rounding, fetch-index assembly and migration
+//! planning.
+//!
+//! `BENCH_4.json` at the repository root records the old-vs-new numbers
+//! for the dispatch pairs.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use hetis_cluster::cluster::paper_cluster;
 use hetis_cluster::GpuType;
-use hetis_core::{Dispatcher, HetisConfig, Profiler};
+use hetis_core::{DispatchSolver, Dispatcher, HetisConfig, Profiler};
 use hetis_engine::{KvState, StageTopo};
 use hetis_kvcache::index::build_headwise_index_serial;
 use hetis_kvcache::{
     build_fetch_index_parallel, plan_migration, BlockConfig, GroupId, HeadwiseAllocator, Placement,
     SeqId,
 };
-use hetis_lp::{round_to_groups, AffineExpr, ConstraintOp, MinMaxBuilder};
+use hetis_lp::{
+    round_to_groups, AffineExpr, ConstraintOp, MinMaxBuilder, WaterFill, WfDemand, WfDevice,
+    WfOutcome,
+};
 use hetis_model::llama_70b;
 use hetis_parallel::StageConfig;
 use std::collections::HashMap;
 
+/// Builds the shared Eq.-(7)-shaped instance (`n` devices × `j`
+/// requests) as the generic epigraph LP. `cap` keeps the 6×4 shape
+/// bit-identical to the historical `lp_minmax_6dev_4req` instance while
+/// staying non-binding on the stress shape.
+fn minmax_instance(n: usize, j: usize, cap_rhs: f64) -> MinMaxBuilder {
+    let nv = n * j;
+    let mut builder = MinMaxBuilder::new(nv);
+    for i in 0..n {
+        let speed = 1.0 + i as f64 * 0.5;
+        let mut coeffs = vec![0.0; nv];
+        for jj in 0..j {
+            coeffs[jj * n + i] = speed * (1.0 + jj as f64 * 0.1);
+        }
+        builder.add_max_term(AffineExpr {
+            constant: 0.01 * i as f64,
+            coeffs,
+        });
+        let mut cap = vec![0.0; nv];
+        for jj in 0..j {
+            cap[jj * n + i] = 1.0;
+        }
+        builder.add_constraint(cap, ConstraintOp::Le, cap_rhs);
+    }
+    for jj in 0..j {
+        let mut row = vec![0.0; nv];
+        for i in 0..n {
+            row[jj * n + i] = 1.0;
+        }
+        builder.add_constraint(row, ConstraintOp::Eq, 64.0);
+    }
+    builder
+}
+
+/// The same instance posed structurally for the water-fill solver.
+fn waterfill_instance(wf: &mut WaterFill, n: usize, j: usize, cap_rhs: f64) {
+    wf.clear();
+    for i in 0..n {
+        let speed = 1.0 + i as f64 * 0.5;
+        wf.push_device(WfDevice {
+            constant: 0.01 * i as f64,
+            alpha: speed,
+            beta: speed,
+            capacity: cap_rhs,
+        });
+    }
+    for jj in 0..j {
+        // speed·(1 + 0.1·jj) = α·p + β·q with p + q = 1 + 0.1·jj.
+        wf.push_demand(WfDemand {
+            amount: 64.0,
+            p: 1.0,
+            q: 0.1 * jj as f64,
+            u: 1.0,
+        });
+    }
+}
+
 fn bench_lp(c: &mut Criterion) {
-    c.bench_function("lp_minmax_6dev_4req", |b| {
-        b.iter(|| {
-            let n = 6;
-            let j = 4;
-            let nv = n * j;
-            let mut builder = MinMaxBuilder::new(nv);
-            for i in 0..n {
-                let speed = 1.0 + i as f64 * 0.5;
-                let mut coeffs = vec![0.0; nv];
-                for jj in 0..j {
-                    coeffs[jj * n + i] = speed * (1.0 + jj as f64 * 0.1);
+    for (n, j, cap_rhs, old_id, new_id) in [
+        (6, 4, 100.0, "lp_minmax_6dev_4req", "lp_waterfill_6dev_4req"),
+        (
+            12,
+            16,
+            1600.0,
+            "lp_minmax_12dev_16req",
+            "lp_waterfill_12dev_16req",
+        ),
+    ] {
+        c.bench_function(old_id, |b| {
+            b.iter(|| minmax_instance(n, j, cap_rhs).solve().unwrap())
+        });
+        let mut wf = WaterFill::new();
+        // The two solvers must agree before the timings mean anything.
+        waterfill_instance(&mut wf, n, j, cap_rhs);
+        let WfOutcome::Solved(s) = wf.solve() else {
+            panic!("{new_id}: fast path must engage on the bench shape");
+        };
+        let lp = minmax_instance(n, j, cap_rhs).solve().unwrap();
+        assert!(
+            (s.max_value - lp.max_value).abs() <= 1e-6 * lp.max_value.abs().max(1.0),
+            "{new_id}: solvers disagree: {} vs {}",
+            s.max_value,
+            lp.max_value
+        );
+        c.bench_function(new_id, |b| {
+            b.iter(|| {
+                waterfill_instance(&mut wf, n, j, cap_rhs);
+                match wf.solve() {
+                    WfOutcome::Solved(s) => s.max_value,
+                    other => panic!("fast path lost: {other:?}"),
                 }
-                builder.add_max_term(AffineExpr {
-                    constant: 0.01 * i as f64,
-                    coeffs,
-                });
-                let mut cap = vec![0.0; nv];
-                for jj in 0..j {
-                    cap[jj * n + i] = 1.0;
-                }
-                builder.add_constraint(cap, ConstraintOp::Le, 100.0);
-            }
-            for jj in 0..j {
-                let mut row = vec![0.0; nv];
-                for i in 0..n {
-                    row[jj * n + i] = 1.0;
-                }
-                builder.add_constraint(row, ConstraintOp::Eq, 64.0);
-            }
-            builder.solve().unwrap()
-        })
-    });
+            })
+        });
+    }
 
     c.bench_function("round_to_groups_8dev", |b| {
         let x = vec![10.3, 7.7, 12.1, 5.9, 8.0, 6.4, 9.6, 4.0];
@@ -80,21 +148,49 @@ fn bench_dispatch(c: &mut Criterion) {
                 .unwrap();
         }
     }
-    let dispatcher = Dispatcher::new(
+    let simplex_cfg = HetisConfig {
+        solver: DispatchSolver::Simplex,
+        ..HetisConfig::default()
+    };
+    let simplex = Dispatcher::new(Profiler::profile(&cluster, 8, 0.0, 3), simplex_cfg);
+    // HetisConfig::default() selects the water-fill fast path.
+    let waterfill = Dispatcher::new(
         Profiler::profile(&cluster, 8, 0.0, 3),
         HetisConfig::default(),
     );
 
+    // Dispatcher-level old-vs-new on the identical stage and batch.
     c.bench_function("dispatch_eq7_batch4", |b| {
         b.iter(|| {
-            dispatcher
+            simplex
                 .dispatch(&cluster, &model, &kv, &stage, 0, &[512, 1024, 2048, 300])
                 .unwrap()
         })
     });
+    c.bench_function("dispatch_waterfill_6dev_4req", |b| {
+        b.iter(|| {
+            waterfill
+                .dispatch(&cluster, &model, &kv, &stage, 0, &[512, 1024, 2048, 300])
+                .unwrap()
+        });
+        // Smoke assertion for CI quick mode: the fast path must actually
+        // have run (zero fallbacks would silently re-time the simplex).
+        let (fast, slow) = waterfill.solver_counts();
+        assert!(
+            fast > 0 && slow == 0,
+            "water-fill fast path did not engage: fast={fast} slow={slow}"
+        );
+    });
     c.bench_function("ideal_attention_time", |b| {
         b.iter(|| {
-            dispatcher
+            waterfill
+                .ideal_attention_time(&cluster, &model, &kv, &stage, 0)
+                .unwrap()
+        })
+    });
+    c.bench_function("ideal_attention_time_simplex", |b| {
+        b.iter(|| {
+            simplex
                 .ideal_attention_time(&cluster, &model, &kv, &stage, 0)
                 .unwrap()
         })

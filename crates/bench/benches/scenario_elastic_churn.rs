@@ -10,10 +10,11 @@
 //! than the frozen baseline.
 
 use hetis_baselines::{HexgenPolicy, SplitwisePolicy};
-use hetis_bench::{bench_engine_config, bench_profile_for, f, tsv_header, Scale};
+use hetis_bench::{
+    bench_engine_config, bench_hetis_config, bench_profile_for, f, tsv_header, Scale,
+};
 use hetis_cluster::cluster::paper_cluster;
 use hetis_cluster::GpuType;
-use hetis_core::HetisConfig;
 use hetis_elastic::{elastic_hetis, frozen_hetis, ChurnScenario};
 use hetis_engine::RunReport;
 use hetis_model::llama_70b;
@@ -52,13 +53,13 @@ fn main() {
     let run_named = |which: &str| -> RunReport {
         match which {
             "hetis+elastic" => scenario.run(
-                elastic_hetis(HetisConfig::default(), profile),
+                elastic_hetis(bench_hetis_config(), profile),
                 &cluster,
                 &model,
                 cfg.clone(),
             ),
             "hetis+frozen" => scenario.run(
-                frozen_hetis(HetisConfig::default(), profile),
+                frozen_hetis(bench_hetis_config(), profile),
                 &cluster,
                 &model,
                 cfg.clone(),
@@ -88,7 +89,18 @@ fn main() {
     let mut p99_elastic = f64::INFINITY;
     let mut p99_frozen = f64::INFINITY;
     for which in ["hetis+elastic", "hetis+frozen", "hexgen", "splitwise"] {
+        let wall_start = std::time::Instant::now();
         let report = run_named(which);
+        let wall = wall_start.elapsed().as_secs_f64();
+        // Engine-speed line (machine-dependent; digests pin behavior).
+        println!(
+            "elastic_storm\tsim-throughput\t{which}\tsim_s={}\twall_s={}\tsim_per_wall={}\tevents={}\tevents_per_s={}",
+            f(report.duration),
+            f(wall),
+            f(report.duration / wall),
+            report.events_processed,
+            f(report.events_processed as f64 / wall),
+        );
         let p99 = report.p99_normalized_latency();
         match which {
             "hetis+elastic" => p99_elastic = p99,

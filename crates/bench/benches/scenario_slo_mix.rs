@@ -12,9 +12,9 @@
 //! interactive p99 TTFT at equal-or-better total goodput, with
 //! bit-identical digests across same-seed reruns.
 
-use hetis_bench::{bench_engine_config, bench_profile_for, f, tsv_header};
+use hetis_bench::{bench_engine_config, bench_hetis_config, bench_profile_for, f, tsv_header};
 use hetis_cluster::cluster::paper_cluster;
-use hetis_core::{HetisConfig, HetisPolicy};
+use hetis_core::HetisPolicy;
 use hetis_engine::{run, AdmissionPolicy, RunReport};
 use hetis_model::llama_13b;
 use hetis_workload::{multi_tenant_trace, DatasetKind, SloClass, TenantId, TenantSpec};
@@ -54,7 +54,7 @@ fn main() {
             _ => unreachable!(),
         }
         run(
-            HetisPolicy::new(HetisConfig::default(), profile),
+            HetisPolicy::new(bench_hetis_config(), profile),
             &cluster,
             &model,
             cfg,
@@ -83,7 +83,21 @@ fn main() {
         "priority-only",
         "chunked+priority",
     ] {
+        let wall_start = std::time::Instant::now();
         let report = run_named(which);
+        let wall = wall_start.elapsed().as_secs_f64();
+        // Engine-speed line: simulated seconds per wall second and raw
+        // event throughput — the solver fast path and engine hot-loop
+        // work land here (wall time is machine-dependent; the digest
+        // rows, not these, pin behavior).
+        println!(
+            "slo_mix\tsim-throughput\t{which}\tsim_s={}\twall_s={}\tsim_per_wall={}\tevents={}\tevents_per_s={}",
+            f(report.duration),
+            f(wall),
+            f(report.duration / wall),
+            report.events_processed,
+            f(report.events_processed as f64 / wall),
+        );
         for s in report.class_stats() {
             println!(
                 "slo_mix\t{which}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",

@@ -82,6 +82,11 @@ impl Bencher {
 pub struct Criterion {
     warmup: Duration,
     budget: Duration,
+    /// Substring filters from the command line (as in real criterion:
+    /// `cargo bench --bench micro -- lp_minmax dispatch_waterfill` runs
+    /// only benchmarks whose id contains one of the arguments). Empty =
+    /// run everything.
+    filters: Vec<String>,
 }
 
 impl Default for Criterion {
@@ -91,13 +96,21 @@ impl Default for Criterion {
         Criterion {
             warmup: Duration::from_millis(if full { 300 } else { 50 }),
             budget: Duration::from_millis(if full { 2000 } else { 300 }),
+            filters: std::env::args()
+                .skip(1)
+                .filter(|a| !a.starts_with('-'))
+                .collect(),
         }
     }
 }
 
 impl Criterion {
-    /// Runs one named benchmark and prints `id<TAB>ns/iter`.
+    /// Runs one named benchmark and prints `id<TAB>ns/iter`; skipped
+    /// silently when CLI filters are present and none matches `id`.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if !self.filters.is_empty() && !self.filters.iter().any(|s| id.contains(s.as_str())) {
+            return self;
+        }
         let mut b = Bencher {
             warmup: self.warmup,
             budget: self.budget,
@@ -155,6 +168,7 @@ mod tests {
         let mut c = Criterion {
             warmup: Duration::from_millis(1),
             budget: Duration::from_millis(5),
+            filters: Vec::new(),
         };
         tiny(&mut c);
     }
