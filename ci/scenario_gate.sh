@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Scenario behavior gate: digest pinning + bench-regression smoke.
+#
+# Runs scenario_slo_mix and scenario_elastic_churn under BOTH dispatch
+# solver modes and fails when
+#   1. any per-system behavior digest drifts from ci/pinned_digests.tsv
+#      (re-pin in the same PR with a justification line when an engine
+#      change legitimately moves behavior), or
+#   2. any sim-throughput row (simulated seconds per wall second, from
+#      the default waterfill run) falls below the generous floors of
+#      ci/sim_throughput_floors.tsv — gross perf regressions fail the
+#      build instead of only being visible in BENCH files.
+#
+# The scenario binaries also carry their own asserts (determinism,
+# SLO/goodput/peak-KV/TPOT comparisons), so a plain run already gates on
+# those; this script adds the cross-run pins.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+outdir="${SCENARIO_GATE_OUT:-target/scenario-gate}"
+mkdir -p "$outdir"
+
+for solver in waterfill simplex; do
+  for bench in scenario_slo_mix scenario_elastic_churn; do
+    echo "== $bench (HETIS_DISPATCH_SOLVER=$solver)"
+    HETIS_DISPATCH_SOLVER=$solver cargo bench --bench "$bench" \
+      > "$outdir/$bench.$solver.out"
+  done
+done
+
+fail=0
+
+# ---- 1. digest pinning ----------------------------------------------------
+actual="$outdir/digests.tsv"
+: > "$actual"
+for solver in waterfill simplex; do
+  grep -h "behavior-digest" \
+    "$outdir/scenario_slo_mix.$solver.out" \
+    "$outdir/scenario_elastic_churn.$solver.out" \
+    | awk -v s="$solver" -F'\t' '{ print s "\t" $1 "\t" $3 "\t" $4 }' \
+    >> "$actual"
+done
+pinned="$outdir/pinned.tsv"
+grep -v '^#' ci/pinned_digests.tsv | sort > "$pinned"
+sort "$actual" > "$actual.sorted"
+if ! diff -u "$pinned" "$actual.sorted"; then
+  echo "FAIL: behavior digests drifted from ci/pinned_digests.tsv" >&2
+  echo "      (re-pin in this PR with a justification if the change is intended)" >&2
+  fail=1
+else
+  echo "digest gate: all $(wc -l < "$pinned") pins match"
+fi
+
+# ---- 2. sim-throughput floors ---------------------------------------------
+while IFS=$'\t' read -r scenario system floor; do
+  [[ "$scenario" == \#* || -z "$scenario" ]] && continue
+  case "$scenario" in
+    slo_mix) out="$outdir/scenario_slo_mix.waterfill.out" ;;
+    elastic_storm) out="$outdir/scenario_elastic_churn.waterfill.out" ;;
+    *) echo "unknown scenario '$scenario' in floors file" >&2; fail=1; continue ;;
+  esac
+  got=$(awk -F'\t' -v sys="$system" \
+    '$2 == "sim-throughput" && $3 == sys {
+       for (i = 4; i <= NF; i++)
+         if ($i ~ /^sim_per_wall=/) { sub("sim_per_wall=", "", $i); print $i }
+     }' "$out")
+  if [[ -z "$got" ]]; then
+    echo "FAIL: no sim-throughput row for $scenario/$system" >&2
+    fail=1
+  elif awk -v g="$got" -v f="$floor" 'BEGIN { exit !(g < f) }'; then
+    echo "FAIL: $scenario/$system sim_per_wall $got below floor $floor" >&2
+    fail=1
+  else
+    echo "throughput floor: $scenario/$system sim_per_wall $got >= $floor"
+  fi
+done < ci/sim_throughput_floors.tsv
+
+exit $fail

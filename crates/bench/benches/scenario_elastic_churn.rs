@@ -101,6 +101,12 @@ fn main() {
             report.events_processed,
             f(report.events_processed as f64 / wall),
         );
+        // Behavior digest per system — the CI gate pins all of these
+        // under both HETIS_DISPATCH_SOLVER modes.
+        println!(
+            "elastic_storm\tbehavior-digest\t{which}\t{:016x}",
+            report.digest()
+        );
         let p99 = report.p99_normalized_latency();
         match which {
             "hetis+elastic" => p99_elastic = p99,

@@ -143,8 +143,12 @@ impl Dispatcher {
     /// tokens — during the chunked window a prompt's per-iteration
     /// attention work is chunk-bounded, so pricing its whole context into
     /// every iteration makes the LP too pessimistic about slower workers
-    /// — while the capacity constraint still reserves KV for the *full*
-    /// prompt (memory is allocated up front, not per chunk). With
+    /// — while the capacity constraint still prices the *full* prompt.
+    /// The engine's reservation is fine-grained (first chunk + headroom,
+    /// grown per chunk), so full-prompt capacity here is deliberately
+    /// conservative: the chosen placement must be able to absorb the
+    /// request's eventual growth, and the free-bytes inputs the LP reads
+    /// already reflect the leaner resident reservations. With
     /// `chunk = None` this is exactly [`Dispatcher::dispatch`].
     #[allow(clippy::too_many_arguments)]
     pub fn dispatch_chunked(

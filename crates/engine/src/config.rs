@@ -26,8 +26,28 @@ pub struct EngineConfig {
     /// behavior); `Some(c)` splits longer prompts into `c`-token chunks
     /// interleaved with decode iterations, bounding the head-of-line
     /// blocking a long prompt can inflict. A chunk size at or above the
-    /// longest effective prompt is bit-identical to `None`.
+    /// longest effective prompt schedules identically to `None`
+    /// (digest-pinned on uncontended pools); its KV reservation still
+    /// carries `decode_headroom_tokens` on top of the prompt, so under
+    /// memory pressure victim timing can differ from atomic mode.
     pub prefill_chunk_tokens: Option<u64>,
+    /// Fused prefill+decode microbatches (vLLM-style chunked prefill's
+    /// mixed batches): when chunking is on, each cohort iteration runs
+    /// ONE breakdown combining the current prefill chunk(s) with the
+    /// resident decode batch — weights stream once, decode tokens ride
+    /// the chunk's dense pass — instead of alternating chunk and decode
+    /// iterations. Cuts decode TPOT during long prefills at a small TTFT
+    /// cost. Ignored when `prefill_chunk_tokens` is `None` (atomic
+    /// prefills keep the legacy prefill-priority loop).
+    pub fused_microbatches: bool,
+    /// Decode-headroom tokens reserved at admission on top of the first
+    /// chunk under incremental KV growth. The reservation *prepays* the
+    /// first `headroom` decode appends after prefill completion: they
+    /// consume the cushion instead of allocating, so they can never hit
+    /// the victim path. Only meaningful when `prefill_chunk_tokens` is
+    /// `Some`; atomic admission reserves exactly the effective prompt
+    /// (whose context has already outgrown it at the first append).
+    pub decode_headroom_tokens: u32,
     /// Admission-queue ordering.
     pub admission: AdmissionPolicy,
     /// Maximum concurrently running sequences per instance.
@@ -50,6 +70,8 @@ impl Default for EngineConfig {
             block_size: 16,
             max_batch_tokens: 8192,
             prefill_chunk_tokens: None,
+            fused_microbatches: false,
+            decode_headroom_tokens: 16,
             admission: AdmissionPolicy::Fifo,
             max_running: 512,
             kernel_jitter: 0.0,
@@ -71,6 +93,8 @@ mod tests {
         assert!(c.max_batch_tokens >= 2048);
         assert!(c.kernel_jitter == 0.0);
         assert_eq!(c.prefill_chunk_tokens, None);
+        assert!(!c.fused_microbatches);
+        assert_eq!(c.decode_headroom_tokens, 16);
         assert_eq!(c.admission, AdmissionPolicy::Fifo);
     }
 }

@@ -46,16 +46,22 @@ enum Event {
 enum UbatchKind {
     Prefill,
     Decode,
+    /// One iteration combining a prefill chunk with the resident decode
+    /// batch ([`EngineConfig::fused_microbatches`]).
+    Fused,
 }
 
 #[derive(Debug, Clone)]
 struct Ubatch {
-    kind: UbatchKind,
+    /// Prefill participants (empty for pure-decode microbatches).
     reqs: Vec<RequestId>,
-    /// Prompt tokens each request contributed to this iteration (prefill
-    /// microbatches only — a chunk under chunked prefill, the whole
-    /// effective prompt otherwise; empty for decode microbatches).
+    /// Prompt tokens each prefill participant contributed to this
+    /// iteration (parallel to `reqs` — a chunk under chunked prefill,
+    /// the whole effective prompt otherwise).
     chunks: Vec<u32>,
+    /// Decode participants (empty for pure-prefill microbatches; both
+    /// vectors populated only for [`UbatchKind::Fused`]).
+    decode_reqs: Vec<RequestId>,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -68,9 +74,21 @@ struct Cohort {
     prefilling: Vec<RequestId>,
     /// Kind of the last microbatch this cohort executed, used to
     /// alternate prefill chunks with decode iterations so a long chunked
-    /// prompt cannot starve resident decodes.
+    /// prompt cannot starve resident decodes (unused in fused mode,
+    /// where every iteration carries both).
     last_kind: Option<UbatchKind>,
     in_flight: Option<Ubatch>,
+    /// Incremental per-stage decode attention loads: for every pipeline
+    /// stage, `device → (query heads, decode KV read bytes)` summed over
+    /// the cohort's registered decoding members at their *current*
+    /// context. All-integer accounting (heads are whole, the KV read is
+    /// `groups × (ctx+1) × unit` bytes), so adds and removes are exact
+    /// and the formed loads are bit-identical to a from-scratch rebuild
+    /// — which `debug_assert` checks on every formation. Maintained on
+    /// decode entry/exit, re-dispatch, eviction and per-token context
+    /// growth; replaces the old O(batch × stages × placement-entries)
+    /// rebuild in the decode hot loop.
+    load: Vec<HashMap<DeviceId, (u64, u64)>>,
 }
 
 /// Admission-ordering key of one waiting request under
@@ -258,6 +276,10 @@ pub struct Engine<'a, P: Policy> {
     prefill_iterations: u64,
     max_prefill_iter_tokens: u64,
     events_processed: u64,
+    peak_kv_reserved_bytes: u64,
+    fused_iterations: u64,
+    kv_growths: u64,
+    kv_grow_failures: u64,
 }
 
 /// Runs `policy` over `trace` on `cluster`/`model`; returns the report —
@@ -344,7 +366,12 @@ impl<'a, P: Policy> Engine<'a, P> {
             .map(|i| InstanceState {
                 waiting: WaitQueue::new(cfg.admission),
                 pending_handoff: FifoQueue::new(),
-                cohorts: (0..i.depth()).map(|_| Cohort::default()).collect(),
+                cohorts: (0..i.depth())
+                    .map(|_| Cohort {
+                        load: vec![HashMap::new(); i.depth()],
+                        ..Cohort::default()
+                    })
+                    .collect(),
                 stage_free_at: vec![SimTime::ZERO; i.depth()],
                 running: 0,
             })
@@ -398,6 +425,10 @@ impl<'a, P: Policy> Engine<'a, P> {
             prefill_iterations: 0,
             max_prefill_iter_tokens: 0,
             events_processed: 0,
+            peak_kv_reserved_bytes: 0,
+            fused_iterations: 0,
+            kv_growths: 0,
+            kv_grow_failures: 0,
         };
         // Late joiners: a device whose first scheduled event is a Join is
         // absent at startup.
@@ -438,6 +469,18 @@ impl<'a, P: Policy> Engine<'a, P> {
         }
     }
 
+    /// Records the cluster-wide reserved-KV high-water mark. Called from
+    /// the paths that *allocate* KV (admission, reservation growth,
+    /// decode appends, re-dispatch grows) — frees can only lower usage,
+    /// so sampling after allocations captures the true peak without
+    /// paying an O(#devices) sweep on every event of the hot loop.
+    fn note_kv_peak(&mut self) {
+        let used: u64 = (0..self.kv.len())
+            .map(|d| self.kv.device(DeviceId(d as u32)).used_bytes())
+            .sum();
+        self.peak_kv_reserved_bytes = self.peak_kv_reserved_bytes.max(used);
+    }
+
     /// Consumes the engine into its report.
     pub fn into_report(self) -> RunReport {
         let mut used: Vec<DeviceId> = self
@@ -474,6 +517,10 @@ impl<'a, P: Policy> Engine<'a, P> {
             prefill_iterations: self.prefill_iterations,
             max_prefill_iter_tokens: self.max_prefill_iter_tokens,
             events_processed: self.events_processed,
+            peak_kv_reserved_bytes: self.peak_kv_reserved_bytes,
+            fused_iterations: self.fused_iterations,
+            kv_growths: self.kv_growths,
+            kv_grow_failures: self.kv_grow_failures,
         }
     }
 
@@ -513,55 +560,60 @@ impl<'a, P: Policy> Engine<'a, P> {
             .take()
             .expect("completion without in-flight microbatch");
         let mut evicted_any = false;
-        match ub.kind {
-            UbatchKind::Prefill => {
-                for (rid, chunk) in ub.reqs.into_iter().zip(ub.chunks) {
-                    let invalidated = self.churn_invalidated(rid);
-                    let r = self.requests.get_mut(&rid).expect("live request");
-                    r.in_flight = false;
-                    if invalidated {
-                        // The instance died or the KV landed (partly) on a
-                        // dead device mid-flight: the prefill is lost.
-                        self.churn_evict(rid);
-                        evicted_any = true;
-                        continue;
-                    }
-                    r.prefilled += chunk;
-                    if r.prefilled < r.effective_input {
-                        // Mid-chunked-prefill: the request stays in the
-                        // cohort's prefilling set; its next chunk forms in
-                        // a later iteration (alternating with decode).
-                        continue;
-                    }
-                    r.push_token(now);
-                    let complete = r.is_complete();
-                    self.remove_prefilling(inst, rid);
-                    if complete {
-                        self.finish(rid);
-                        continue;
-                    }
-                    let handoff = self.policy.after_prefill(inst, rid, &ctx!(self));
-                    match handoff {
-                        Some(h) => self.start_handoff(rid, h.target_instance),
-                        None => self.start_decoding_after_scatter(rid, inst, cohort),
-                    }
-                }
+        // Prefill participants first (chunk bookkeeping, prefill→decode
+        // transitions), then decode participants — within one fused
+        // iteration the order is immaterial (both sets are disjoint and
+        // complete at the same simulated instant).
+        for (rid, chunk) in ub.reqs.into_iter().zip(ub.chunks) {
+            let invalidated = self.churn_invalidated(rid);
+            let r = self.requests.get_mut(&rid).expect("live request");
+            r.in_flight = false;
+            if invalidated {
+                // The instance died or the KV landed (partly) on a
+                // dead device mid-flight: the prefill is lost.
+                self.churn_evict(rid);
+                evicted_any = true;
+                continue;
             }
-            UbatchKind::Decode => {
-                for rid in ub.reqs {
-                    let invalidated = self.churn_invalidated(rid);
-                    let r = self.requests.get_mut(&rid).expect("live request");
-                    r.in_flight = false;
-                    if invalidated {
-                        self.churn_evict(rid);
-                        evicted_any = true;
-                        continue;
-                    }
-                    r.push_token(now);
-                    if r.is_complete() {
-                        self.finish(rid);
-                    }
-                }
+            r.prefilled += chunk;
+            if r.prefilled < r.effective_input {
+                // Mid-chunked-prefill: the request stays in the
+                // cohort's prefilling set; its next chunk forms in
+                // a later iteration (alternating with decode, or fused
+                // alongside it).
+                continue;
+            }
+            r.push_token(now);
+            let complete = r.is_complete();
+            self.remove_prefilling(inst, rid);
+            if complete {
+                self.finish(rid);
+                continue;
+            }
+            let handoff = self.policy.after_prefill(inst, rid, &ctx!(self));
+            match handoff {
+                Some(h) => self.start_handoff(rid, h.target_instance),
+                None => self.start_decoding_after_scatter(rid, inst, cohort),
+            }
+        }
+        for rid in ub.decode_reqs {
+            let invalidated = self.churn_invalidated(rid);
+            let r = self.requests.get_mut(&rid).expect("live request");
+            r.in_flight = false;
+            if invalidated {
+                self.churn_evict(rid);
+                evicted_any = true;
+                continue;
+            }
+            r.push_token(now);
+            let complete = r.is_complete();
+            // The context grew a token: mirror it into the incremental
+            // load table before any removal reads the new state.
+            if self.requests[&rid].in_load_table {
+                self.load_table_bump_ctx(inst, rid);
+            }
+            if complete {
+                self.finish(rid);
             }
         }
         if evicted_any {
@@ -586,6 +638,7 @@ impl<'a, P: Policy> Engine<'a, P> {
         r.migration_sources.clear();
         let inst = r.instance;
         self.ensure_cohort_member(inst, rid);
+        self.load_table_add(inst, rid);
         self.try_dispatch(inst);
     }
 
@@ -864,15 +917,21 @@ impl<'a, P: Policy> Engine<'a, P> {
     /// surviving instance. Returns the lost context tokens.
     fn churn_evict(&mut self, rid: RequestId) -> u64 {
         self.attributed_pending.retain(|&p| p != rid);
-        let r = self.requests.get_mut(&rid).expect("live");
-        assert!(!r.in_flight, "cannot churn-evict an in-flight request");
-        let lost = (r.req.input_len + r.generated) as u64;
-        let old_inst = r.instance;
-        let was_running = matches!(
-            r.phase,
-            Phase::Prefilling | Phase::Decoding | Phase::Migrating
-        );
-        r.preempt_recompute();
+        let (lost, old_inst, was_running) = {
+            let r = &self.requests[&rid];
+            assert!(!r.in_flight, "cannot churn-evict an in-flight request");
+            let lost = (r.req.input_len + r.generated) as u64;
+            let was_running = matches!(
+                r.phase,
+                Phase::Prefilling | Phase::Decoding | Phase::Migrating
+            );
+            (lost, r.instance, was_running)
+        };
+        self.load_table_remove(old_inst, rid);
+        self.requests
+            .get_mut(&rid)
+            .expect("live")
+            .preempt_recompute();
         if was_running {
             self.running_dec(old_inst);
         }
@@ -1006,9 +1065,18 @@ impl<'a, P: Policy> Engine<'a, P> {
         // which preserve the admission order.
         self.instances[inst].waiting.merge_front();
 
+        let fused = self.cfg.fused_microbatches && self.cfg.prefill_chunk_tokens.is_some();
         let depth = self.topo.instances[inst].depth();
         for c in 0..depth {
             if self.instances[inst].cohorts[c].in_flight.is_some() {
+                continue;
+            }
+            // Fused mode: one iteration carries the cohort's current
+            // chunk(s) AND its resident decode batch — no alternation,
+            // decode requests never stall behind prefill-only
+            // iterations.
+            if fused {
+                self.try_form_fused(inst, c);
                 continue;
             }
             // Chunked-prefill fairness: when a resident prompt still has
@@ -1106,8 +1174,36 @@ impl<'a, P: Policy> Engine<'a, P> {
         if role == InstanceRole::DecodeOnly || role == InstanceRole::Down {
             return false;
         }
+        let entries = self.collect_prefill_entries(inst, cohort);
+        if entries.is_empty() {
+            return false;
+        }
+        self.schedule_prefill(inst, cohort, entries);
+        true
+    }
+
+    /// Selects this cohort's prefill work — continuing chunks of
+    /// mid-prefill residents first (admission order), then new admissions
+    /// under the remaining budget — and commits the per-request state
+    /// (phase, cohort membership, KV reservation). Returns the scheduled
+    /// `(request, chunk, prior)` entries; empty when nothing can form.
+    ///
+    /// KV reservation is fine-grained under chunked prefill: admission
+    /// reserves the *first chunk plus decode headroom* instead of the
+    /// whole prompt, and every continuing chunk grows the reservation via
+    /// [`Engine::try_grow_tokens`] before its compute is scheduled. A
+    /// request whose growth fails after the victim loop is recompute-
+    /// preempted and requeued — never silently truncated. Atomic prefill
+    /// keeps the legacy full-prompt reservation bit-for-bit.
+    fn collect_prefill_entries(
+        &mut self,
+        inst: usize,
+        cohort: usize,
+    ) -> Vec<(RequestId, u64, u64)> {
         // Per-request chunk cap: ∞ (atomic prefill) unless configured.
         let chunk_cap = self.cfg.prefill_chunk_tokens.unwrap_or(u64::MAX).max(1);
+        let incremental = self.cfg.prefill_chunk_tokens.is_some();
+        let headroom = self.cfg.decode_headroom_tokens;
         let budget = self.cfg.max_batch_tokens;
 
         // 1. Continuing chunks: mid-prefill residents of this cohort go
@@ -1127,12 +1223,34 @@ impl<'a, P: Policy> Engine<'a, P> {
             .collect();
         for rid in continuing {
             let r = &self.requests[&rid];
+            // Re-check the snapshot: an earlier resident's growth victim
+            // cascade may have evicted this one (in-repo policies only
+            // victimize decoding requests, but the Policy trait doesn't
+            // promise that — same staleness guard collect_decode_batch
+            // uses).
+            if r.phase != Phase::Prefilling || r.in_flight {
+                continue;
+            }
             let chunk = (r.remaining_prefill() as u64).min(chunk_cap);
             if !entries.is_empty() && tokens + chunk > budget {
                 break;
             }
+            let prior = r.prefilled as u64;
+            // Incremental growth: this chunk's KV must be reserved before
+            // its compute runs. `prior + chunk ≤ effective_input` always,
+            // so the reservation never exceeds prompt + headroom.
+            if incremental {
+                let target = ((prior + chunk) as u32).saturating_add(headroom);
+                if r.kv_reserved < target && !self.try_grow_tokens(inst, rid, target) {
+                    // Preemption-safe failure path: the grower is evicted
+                    // and requeued whole (recompute keeps every token).
+                    self.kv_grow_failures += 1;
+                    self.evict(rid);
+                    continue;
+                }
+            }
             tokens += chunk;
-            entries.push((rid, chunk, r.prefilled as u64));
+            entries.push((rid, chunk, prior));
             if tokens >= budget {
                 break;
             }
@@ -1164,12 +1282,14 @@ impl<'a, P: Policy> Engine<'a, P> {
             }
         }
         if entries.is_empty() && candidates.is_empty() {
-            return false;
+            return entries;
         }
 
         // Joint placement of the admission batch (the paper's J(t)).
-        // Placement and KV allocation always cover the FULL effective
-        // prompt — chunking splits compute over iterations, not memory.
+        // Placement always covers the FULL effective prompt (the LP's
+        // capacity term stays conservative so later growth fits), but the
+        // KV *reservation* is fine-grained: first chunk + decode headroom
+        // under chunking, the whole prompt under atomic admission.
         let mut admitted: Vec<RequestId> = Vec::new();
         if !candidates.is_empty() {
             let pairs: Vec<(RequestId, u32)> = candidates
@@ -1181,9 +1301,28 @@ impl<'a, P: Policy> Engine<'a, P> {
 
             let mut blocked_from: Option<usize> = None;
             for (k, (rid, placement)) in candidates.iter().zip(placements).enumerate() {
-                let ok = placement
-                    .map(|p| self.try_alloc_prompt(*rid, p))
-                    .unwrap_or(false);
+                let eff = self.requests[rid].effective_input;
+                let reserve = if incremental {
+                    ((eff as u64).min(chunk_cap) as u32).saturating_add(headroom)
+                } else {
+                    eff
+                };
+                // Incremental admission only reserves the first chunk, so
+                // guard against prompts whose FULL KV could never fit the
+                // placement even on empty pools: without this they would
+                // be admitted cheaply, thrash through grow-fail → evict →
+                // re-admit cycles and burn compute forever; with it they
+                // stay queued exactly like an atomic admission whose
+                // full-prompt allocation fails.
+                let ok = match placement {
+                    Some(p)
+                        if !incremental
+                            || self.placement_fits_pool(&p, inst, eff.saturating_add(headroom)) =>
+                    {
+                        self.try_alloc_prompt(*rid, p, reserve)
+                    }
+                    _ => false,
+                };
                 if ok {
                     admitted.push(*rid);
                 } else {
@@ -1202,7 +1341,7 @@ impl<'a, P: Policy> Engine<'a, P> {
             }
         }
         if entries.is_empty() && admitted.is_empty() {
-            return false;
+            return entries;
         }
 
         let now = self.clock.now().as_secs();
@@ -1216,22 +1355,17 @@ impl<'a, P: Policy> Engine<'a, P> {
             self.instances[inst].cohorts[cohort].prefilling.push(rid);
             self.running_inc(inst);
         }
+        entries
+    }
 
-        // Chunked attention cost: a chunk of c tokens after p already-
-        // prefilled tokens attends to the whole p+c context, so its
-        // quadratic-work share is c² + 2pc. Summed over a prompt's chunks
-        // this telescopes to (Σc)² — the atomic prompt's l² — preserving
-        // the Eq. 7 stage-time model's total work exactly.
-        let mut batch = PrefillBatch::default();
-        for &(rid, chunk, prior) in &entries {
-            self.requests.get_mut(&rid).expect("live").in_flight = true;
-            batch.seqs += 1;
-            batch.tokens += chunk;
-            batch.sq_sum += (chunk * chunk + 2 * prior * chunk) as f64;
-        }
-        self.prefill_tokens += batch.tokens;
-        self.prefill_iterations += 1;
-        self.max_prefill_iter_tokens = self.max_prefill_iter_tokens.max(batch.tokens);
+    /// Schedules `entries` as a pure-prefill microbatch on the cohort.
+    fn schedule_prefill(
+        &mut self,
+        inst: usize,
+        cohort: usize,
+        entries: Vec<(RequestId, u64, u64)>,
+    ) {
+        let batch = self.prefill_batch_of(&entries);
 
         // Walk the pipeline.
         let done = self.schedule_pipeline(
@@ -1250,14 +1384,35 @@ impl<'a, P: Policy> Engine<'a, P> {
         );
 
         self.instances[inst].cohorts[cohort].in_flight = Some(Ubatch {
-            kind: UbatchKind::Prefill,
             reqs: entries.iter().map(|&(rid, ..)| rid).collect(),
             chunks: entries.iter().map(|&(_, c, _)| c as u32).collect(),
+            decode_reqs: Vec::new(),
         });
         self.instances[inst].cohorts[cohort].last_kind = Some(UbatchKind::Prefill);
         self.events
             .schedule(done, Event::UbatchDone { inst, cohort });
-        true
+    }
+
+    /// Marks `entries` in flight and aggregates them into a
+    /// [`PrefillBatch`], updating the prefill counters.
+    ///
+    /// Chunked attention cost: a chunk of c tokens after p already-
+    /// prefilled tokens attends to the whole p+c context, so its
+    /// quadratic-work share is c² + 2pc. Summed over a prompt's chunks
+    /// this telescopes to (Σc)² — the atomic prompt's l² — preserving
+    /// the Eq. 7 stage-time model's total work exactly.
+    fn prefill_batch_of(&mut self, entries: &[(RequestId, u64, u64)]) -> PrefillBatch {
+        let mut batch = PrefillBatch::default();
+        for &(rid, chunk, prior) in entries {
+            self.requests.get_mut(&rid).expect("live").in_flight = true;
+            batch.seqs += 1;
+            batch.tokens += chunk;
+            batch.sq_sum += (chunk * chunk + 2 * prior * chunk) as f64;
+        }
+        self.prefill_tokens += batch.tokens;
+        self.prefill_iterations += 1;
+        self.max_prefill_iter_tokens = self.max_prefill_iter_tokens.max(batch.tokens);
+        batch
     }
 
     fn try_form_decode(&mut self, inst: usize, cohort: usize) -> bool {
@@ -1265,6 +1420,22 @@ impl<'a, P: Policy> Engine<'a, P> {
         if role == InstanceRole::PrefillOnly || role == InstanceRole::Down {
             return false;
         }
+        let Some((batch, stage_loads)) = self.collect_decode_batch(inst, cohort) else {
+            return false;
+        };
+        self.schedule_decode(inst, cohort, batch, stage_loads);
+        true
+    }
+
+    /// Forms the cohort's decode batch: appends every ready member's next
+    /// token (the policy handles exhaustion) and derives the per-stage
+    /// attention loads from the incremental load table. `None` when no
+    /// member can decode this iteration.
+    fn collect_decode_batch(
+        &mut self,
+        inst: usize,
+        cohort: usize,
+    ) -> Option<(Vec<RequestId>, Vec<Vec<AttnLoad>>)> {
         let ready: Vec<RequestId> = self.instances[inst].cohorts[cohort]
             .members
             .iter()
@@ -1272,7 +1443,7 @@ impl<'a, P: Policy> Engine<'a, P> {
             .filter(|rid| self.requests[rid].phase == Phase::Decoding)
             .collect();
         if ready.is_empty() {
-            return false;
+            return None;
         }
 
         // Allocate the next token's KV (policy handles exhaustion).
@@ -1287,22 +1458,104 @@ impl<'a, P: Policy> Engine<'a, P> {
                 batch.push(rid);
             }
         }
+        // One peak observation for the whole batch's appends (each append
+        // is tiny; sweeping the cluster ledger per token would tax the
+        // hot loop for nothing).
+        self.note_kv_peak();
         // A victim decision taken for a *later* member can evict or
         // migrate a request that already joined the batch — drop it (its
         // KV, including the appended token, was released by the eviction).
         batch.retain(|rid| self.requests[rid].phase == Phase::Decoding);
         if batch.is_empty() {
-            return false;
+            return None;
         }
+        let stage_loads = self.stage_loads_for(inst, cohort, &batch);
+        Some((batch, stage_loads))
+    }
 
-        // Attention loads per stage from head placements.
+    /// Per-stage attention loads of `batch`, read from the cohort's
+    /// incremental load table: the table's totals cover every registered
+    /// decoding member, so the only per-iteration work is subtracting the
+    /// (rare) registered members excluded from this batch and converting
+    /// the integer aggregates to [`AttnLoad`]s — replacing the old
+    /// O(batch × stages × placement-entries) rebuild. The integer
+    /// accounting makes the result bit-identical to that rebuild, which
+    /// debug builds assert on every formation.
+    fn stage_loads_for(
+        &self,
+        inst: usize,
+        cohort: usize,
+        batch: &[RequestId],
+    ) -> Vec<Vec<AttnLoad>> {
+        let gqa = self.model.gqa_ratio() as u64;
+        let unit = 2 * self.model.head_dim * self.model.dtype.bytes();
+        let co = &self.instances[inst].cohorts[cohort];
+        let registered = co
+            .members
+            .iter()
+            .filter(|rid| self.requests[rid].in_load_table)
+            .count();
+        let mut per_stage: Vec<HashMap<DeviceId, (u64, u64)>> = co.load.clone();
+        if registered != batch.len() {
+            // Some registered members sit this iteration out (stalled on
+            // memory, racing a victim decision): take them off the totals.
+            let in_batch: std::collections::HashSet<RequestId> = batch.iter().copied().collect();
+            for &rid in co.members.iter() {
+                let r = &self.requests[&rid];
+                if !r.in_load_table || in_batch.contains(&rid) {
+                    continue;
+                }
+                let ctx = r.context_len() as u64 + 1;
+                let placement = r.placement.as_ref().expect("registered request placed");
+                for (s, stage_pl) in placement.per_stage.iter().enumerate() {
+                    for &(dev, heads) in stage_pl {
+                        let e = per_stage[s].get_mut(&dev).expect("registered device");
+                        e.0 -= heads as u64;
+                        e.1 -= heads as u64 / gqa * ctx * unit;
+                    }
+                }
+            }
+        }
+        let mut stage_loads: Vec<Vec<AttnLoad>> = Vec::with_capacity(per_stage.len());
+        for (s, map) in per_stage.iter().enumerate() {
+            let primary = &self.topo.instances[inst].stages[s].primary.devices;
+            let mut loads: Vec<AttnLoad> = map
+                .iter()
+                .filter(|&(_, &(h, k))| h != 0 || k != 0)
+                .map(|(&device, &(h, k))| AttnLoad {
+                    device,
+                    work: AttnWork {
+                        query_heads: h as f64,
+                        kv_bytes: k as f64,
+                    },
+                    remote: !primary.contains(&device),
+                })
+                .collect();
+            loads.sort_by_key(|l| l.device);
+            stage_loads.push(loads);
+        }
+        #[cfg(debug_assertions)]
+        {
+            let oracle = self.rebuild_stage_loads(inst, batch);
+            debug_assert!(
+                loads_equal(&stage_loads, &oracle),
+                "incremental load table drifted from the rebuilt map:\n{stage_loads:?}\nvs\n{oracle:?}"
+            );
+        }
+        stage_loads
+    }
+
+    /// The old from-scratch load computation, kept as the debug-mode
+    /// oracle [`Engine::stage_loads_for`] is checked against.
+    #[cfg(debug_assertions)]
+    fn rebuild_stage_loads(&self, inst: usize, batch: &[RequestId]) -> Vec<Vec<AttnLoad>> {
         let n_stages = self.topo.instances[inst].depth();
         let mut stage_loads: Vec<Vec<AttnLoad>> = Vec::with_capacity(n_stages);
         let r = self.model.gqa_ratio() as u64;
         let unit = 2 * self.model.head_dim * self.model.dtype.bytes();
         for s in 0..n_stages {
             let mut per_dev: HashMap<DeviceId, AttnWork> = HashMap::new();
-            for rid in &batch {
+            for rid in batch {
                 let req = &self.requests[rid];
                 let ctx_len = req.context_len() as u64 + 1;
                 let placement = req.placement.as_ref().expect("decoding request placed");
@@ -1324,7 +1577,18 @@ impl<'a, P: Policy> Engine<'a, P> {
             loads.sort_by_key(|l| l.device);
             stage_loads.push(loads);
         }
+        stage_loads
+    }
 
+    /// Schedules `batch` as a pure-decode microbatch on the cohort.
+    fn schedule_decode(
+        &mut self,
+        inst: usize,
+        cohort: usize,
+        batch: Vec<RequestId>,
+        stage_loads: Vec<Vec<AttnLoad>>,
+    ) {
+        let n_stages = self.topo.instances[inst].depth();
         for rid in &batch {
             self.requests.get_mut(rid).expect("live").in_flight = true;
         }
@@ -1358,14 +1622,116 @@ impl<'a, P: Policy> Engine<'a, P> {
         });
 
         self.instances[inst].cohorts[cohort].in_flight = Some(Ubatch {
-            kind: UbatchKind::Decode,
-            reqs: batch,
+            reqs: Vec::new(),
             chunks: Vec::new(),
+            decode_reqs: batch,
         });
         self.instances[inst].cohorts[cohort].last_kind = Some(UbatchKind::Decode);
         self.events
             .schedule(done, Event::UbatchDone { inst, cohort });
-        true
+    }
+
+    /// Fused-mode iteration ([`EngineConfig::fused_microbatches`]): ONE
+    /// microbatch carrying the cohort's prefill chunk(s) *and* its
+    /// resident decode batch, costed by
+    /// [`crate::stage::fused_stage_breakdown`] — decode tokens ride the
+    /// chunk's dense pass instead of stalling behind a prefill-only
+    /// iteration.
+    ///
+    /// Decode tokens ride every chunk-carrying iteration (vLLM-style
+    /// mixed batching), trading a TTFT tax under bursty queueing — the
+    /// chunk drain co-schedules the decode batch's attention — for a
+    /// strictly faster decode cadence and a shorter makespan. Falls back
+    /// to the pure phase when the other side is empty.
+    fn try_form_fused(&mut self, inst: usize, cohort: usize) -> bool {
+        let role = self.topo.instances[inst].role;
+        if role == InstanceRole::Down {
+            return false;
+        }
+        let entries = if role == InstanceRole::DecodeOnly {
+            Vec::new()
+        } else {
+            self.collect_prefill_entries(inst, cohort)
+        };
+        let decode = if role == InstanceRole::PrefillOnly {
+            None
+        } else {
+            self.collect_decode_batch(inst, cohort)
+        };
+        match (entries.is_empty(), decode) {
+            (true, None) => false,
+            (false, None) => {
+                self.schedule_prefill(inst, cohort, entries);
+                true
+            }
+            (true, Some((batch, loads))) => {
+                self.schedule_decode(inst, cohort, batch, loads);
+                true
+            }
+            (false, Some((batch, loads))) => {
+                self.schedule_fused(inst, cohort, entries, batch, loads);
+                true
+            }
+        }
+    }
+
+    /// Schedules one fused prefill+decode microbatch.
+    fn schedule_fused(
+        &mut self,
+        inst: usize,
+        cohort: usize,
+        entries: Vec<(RequestId, u64, u64)>,
+        decode_batch: Vec<RequestId>,
+        stage_loads: Vec<Vec<AttnLoad>>,
+    ) {
+        let batch = self.prefill_batch_of(&entries);
+        let n_stages = self.topo.instances[inst].depth();
+        for rid in &decode_batch {
+            self.requests.get_mut(rid).expect("live").in_flight = true;
+        }
+        self.fused_iterations += 1;
+
+        let dense_tokens = decode_batch.len() as u64;
+        let mut max_mlp = 0.0_f64;
+        let mut max_attn = 0.0_f64;
+        let done = self.schedule_pipeline(
+            inst,
+            |engine, s, lm_head| {
+                let b = crate::stage::fused_stage_breakdown(
+                    engine.cluster,
+                    engine.model,
+                    &engine.topo.instances[inst].stages[s],
+                    &batch,
+                    dense_tokens,
+                    &stage_loads[s],
+                    lm_head,
+                );
+                // The decode factor already folds in the primaries.
+                let b = scale_breakdown(b, engine.decode_slow_factor(inst, s, &stage_loads[s]));
+                max_mlp = max_mlp.max(b.mlp);
+                max_attn = max_attn.max(b.attn);
+                b
+            },
+            batch.tokens + dense_tokens,
+        );
+
+        // Fused iterations ARE this mode's decode iterations — record the
+        // Fig. 13 module sample (the chunk's share of MLP time is real
+        // work the decode tokens co-schedule with).
+        self.module_samples.push(ModuleSample {
+            time: self.clock.now().as_secs(),
+            mlp: max_mlp * n_stages as f64,
+            attn: max_attn * n_stages as f64,
+        });
+
+        self.instances[inst].cohorts[cohort].in_flight = Some(Ubatch {
+            reqs: entries.iter().map(|&(rid, ..)| rid).collect(),
+            chunks: entries.iter().map(|&(_, c, _)| c as u32).collect(),
+            decode_reqs: decode_batch,
+        });
+        self.instances[inst].cohorts[cohort].last_kind = Some(UbatchKind::Fused);
+        self.events
+            .schedule(done, Event::UbatchDone { inst, cohort });
     }
 
     /// Walks a microbatch through the instance's stages as FIFO resources;
@@ -1410,11 +1776,12 @@ impl<'a, P: Policy> Engine<'a, P> {
 
     // ------------------------------------------------------ KV operations
 
-    /// Allocates the prompt KV of `rid` per `placement`; on failure undoes
+    /// Allocates `tokens` tokens of KV for `rid` per `placement` (the
+    /// whole effective prompt under atomic admission, the first chunk +
+    /// decode headroom under incremental growth); on failure undoes
     /// everything and returns false.
-    fn try_alloc_prompt(&mut self, rid: RequestId, placement: HeadPlacement) -> bool {
+    fn try_alloc_prompt(&mut self, rid: RequestId, placement: HeadPlacement, tokens: u32) -> bool {
         let r = &self.requests[&rid];
-        let tokens = r.effective_input;
         let gqa = self.model.gqa_ratio();
         if placement.validate(self.model.num_heads, gqa).is_err() {
             return false;
@@ -1449,14 +1816,104 @@ impl<'a, P: Policy> Engine<'a, P> {
                 }
             }
         }
-        self.requests.get_mut(&rid).expect("live").placement = Some(placement);
+        let r = self.requests.get_mut(&rid).expect("live");
+        r.placement = Some(placement);
+        r.kv_reserved = tokens;
+        self.note_kv_peak();
         true
+    }
+
+    /// True when `placement` could *ever* hold `tokens` tokens of KV —
+    /// each device's full-prompt share vs its absolute pool size
+    /// (ignoring current residents, which evictions could clear). The
+    /// incremental-admission feasibility guard.
+    fn placement_fits_pool(&self, placement: &HeadPlacement, inst: usize, tokens: u32) -> bool {
+        let gqa = self.model.gqa_ratio();
+        let mut need: HashMap<DeviceId, u64> = HashMap::new();
+        for (s, stage_pl) in placement.per_stage.iter().enumerate() {
+            let layers = self.topo.instances[inst].stages[s].primary.layers;
+            for &(dev, heads) in stage_pl {
+                *need.entry(dev).or_insert(0) +=
+                    self.kv
+                        .device(dev)
+                        .bytes_needed(heads / gqa, tokens, layers);
+            }
+        }
+        need.iter()
+            .all(|(&d, &n)| n <= self.kv.device(d).pool_bytes())
+    }
+
+    /// Grows `rid`'s KV reservation to `new_total` tokens on every device
+    /// of its placement — the incremental-growth path run before each
+    /// continuing chunk is scheduled. Exhaustion consults the policy's
+    /// victim hook exactly like a blocked decode append (§5.3.2: growth
+    /// pressure and append pressure are the same memory pressure).
+    /// Returns false when the growth cannot be satisfied; a failed
+    /// attempt never leaves any device partially grown (the caller
+    /// evicts/requeues the grower whole — no truncation).
+    fn try_grow_tokens(&mut self, inst: usize, rid: RequestId, new_total: u32) -> bool {
+        // Bounded victim loop: each pass either frees memory or gives up.
+        for _ in 0..64 {
+            let devices = self.requests[&rid]
+                .placement
+                .as_ref()
+                .expect("growing request placed")
+                .devices();
+            let blocked = devices.iter().copied().find(|&d| {
+                let kv = self.kv.device(d);
+                kv.grow_cost(rid, new_total) > kv.free_bytes()
+            });
+            let Some(dev) = blocked else {
+                for &d in &devices {
+                    self.kv
+                        .device_mut(d)
+                        .grow_tokens(rid, new_total)
+                        .expect("checked headroom");
+                }
+                self.requests.get_mut(&rid).expect("live").kv_reserved = new_total;
+                self.kv_growths += 1;
+                self.note_kv_peak();
+                return true;
+            };
+            let action = self.policy.select_victim(inst, dev, rid, &ctx!(self));
+            match action {
+                // Policies only victimize decoding requests, but guard
+                // anyway: the grower itself cannot be evicted here (the
+                // caller owns that failure path).
+                VictimAction::Evict(victim) | VictimAction::Redispatch(victim, _)
+                    if victim == rid =>
+                {
+                    return false;
+                }
+                VictimAction::Evict(victim) => self.evict(victim),
+                VictimAction::Redispatch(victim, placement) => {
+                    if !self.execute_redispatch(victim, placement) {
+                        self.evict(victim);
+                    }
+                }
+                VictimAction::Stall => return false,
+            }
+        }
+        false
     }
 
     /// Appends one decode token's KV across the request's devices,
     /// consulting the policy on exhaustion. Returns false when the request
     /// cannot proceed this iteration.
     fn try_append_token(&mut self, inst: usize, rid: RequestId) -> bool {
+        // Decode headroom: tokens inside the admission-time reservation
+        // are prepaid — the resident entries already cover them, so the
+        // first appends after prefill completion consume the cushion
+        // instead of allocating (and can never hit the victim path).
+        // Atomic admission reserves exactly the effective prompt, whose
+        // context has already outgrown it by the first decode append, so
+        // this branch never fires there (bit-identical legacy behavior).
+        {
+            let r = &self.requests[&rid];
+            if r.context_len() < r.kv_reserved {
+                return true;
+            }
+        }
         // Bounded victim loop: each pass either frees memory or stalls.
         for _ in 0..64 {
             let devices = self.requests[&rid]
@@ -1475,6 +1932,9 @@ impl<'a, P: Policy> Engine<'a, P> {
                         .append_token(rid)
                         .expect("checked headroom");
                 }
+                // Peak sampling happens once per decode batch in
+                // `collect_decode_batch`, not per append — this is the
+                // hottest allocation path.
                 return true;
             };
             let action = self.policy.select_victim(inst, dev, rid, &ctx!(self));
@@ -1507,17 +1967,23 @@ impl<'a, P: Policy> Engine<'a, P> {
 
     /// Recompute-preempts a request: KV freed everywhere, back to waiting.
     fn evict(&mut self, rid: RequestId) {
-        let r = self.requests.get_mut(&rid).expect("live");
-        assert!(!r.in_flight, "cannot evict an in-flight request");
-        let inst = r.instance;
-        debug_assert!(
-            matches!(
-                r.phase,
-                Phase::Prefilling | Phase::Decoding | Phase::Migrating
-            ),
-            "victims are always running"
-        );
-        r.preempt_recompute();
+        let inst = {
+            let r = &self.requests[&rid];
+            assert!(!r.in_flight, "cannot evict an in-flight request");
+            debug_assert!(
+                matches!(
+                    r.phase,
+                    Phase::Prefilling | Phase::Decoding | Phase::Migrating
+                ),
+                "victims are always running"
+            );
+            r.instance
+        };
+        self.load_table_remove(inst, rid);
+        self.requests
+            .get_mut(&rid)
+            .expect("live")
+            .preempt_recompute();
         self.running_dec(inst);
         for d in 0..self.kv.len() {
             self.kv.device_mut(DeviceId(d as u32)).free_request(rid);
@@ -1610,6 +2076,9 @@ impl<'a, P: Policy> Engine<'a, P> {
             }
             applied.push((d, s, g));
         }
+        // High-water point of the move: grown destinations coexist with
+        // the not-yet-shrunk sources.
+        self.note_kv_peak();
         let mut moved_bytes = 0.0;
         let now = self.clock.now().as_secs();
         let mut finish = now;
@@ -1626,6 +2095,10 @@ impl<'a, P: Policy> Engine<'a, P> {
             moved_bytes += bytes;
         }
 
+        // The victim leaves the decode set while its KV moves — take its
+        // old-placement contribution off the load table before the new
+        // placement is installed.
+        self.load_table_remove(inst, rid);
         let sources: Vec<DeviceId> = shrinks.iter().map(|&(d, ..)| d).collect();
         let r = self.requests.get_mut(&rid).expect("live");
         r.placement = Some(new_placement);
@@ -1719,7 +2192,7 @@ impl<'a, P: Policy> Engine<'a, P> {
             r.instance = target;
             r.effective_input = ctx_tokens;
         }
-        if !self.try_alloc_prompt(rid, placement) {
+        if !self.try_alloc_prompt(rid, placement, ctx_tokens) {
             // Roll back ownership.
             let rollback = old_instance_of(&old_placement, &self.topo).unwrap_or(target);
             if rollback != target {
@@ -1809,19 +2282,21 @@ impl<'a, P: Policy> Engine<'a, P> {
         } else {
             r.phase = Phase::Decoding;
             self.ensure_cohort_member(inst, rid);
+            self.load_table_add(inst, rid);
         }
     }
 
     // --------------------------------------------------------- lifecycle
 
     fn finish(&mut self, rid: RequestId) {
+        let inst = self.requests[&rid].instance;
+        self.load_table_remove(inst, rid);
         for d in 0..self.kv.len() {
             self.kv.device_mut(DeviceId(d as u32)).free_request(rid);
         }
         let r = self.requests.get_mut(&rid).expect("live");
         r.phase = Phase::Done;
         r.in_flight = false;
-        let inst = r.instance;
         let rec = CompletedRequest {
             id: rid,
             arrival: r.req.arrival,
@@ -1861,6 +2336,88 @@ impl<'a, P: Policy> Engine<'a, P> {
             .expect("instance has cohorts");
         self.requests.get_mut(&rid).expect("live").cohort = target;
         self.instances[inst].cohorts[target].members.push(rid);
+    }
+
+    /// Registers `rid`'s decode attention load in its cohort's
+    /// incremental per-device table. All-integer accounting — each
+    /// placement entry contributes `(heads, groups·(ctx+1)·unit)` — so
+    /// later removals cancel exactly and the formed loads stay
+    /// bit-identical to a from-scratch rebuild. Call on every transition
+    /// *into* `Phase::Decoding` (after `ensure_cohort_member`).
+    fn load_table_add(&mut self, inst: usize, rid: RequestId) {
+        let gqa = self.model.gqa_ratio() as u64;
+        let unit = 2 * self.model.head_dim * self.model.dtype.bytes();
+        {
+            let r = &self.requests[&rid];
+            debug_assert!(
+                r.phase == Phase::Decoding && !r.in_load_table,
+                "load-table add of {rid:?} in phase {:?}",
+                r.phase
+            );
+            let ctx = r.context_len() as u64 + 1;
+            let placement = r.placement.as_ref().expect("decoding request placed");
+            let cohort = &mut self.instances[inst].cohorts[r.cohort];
+            for (s, stage_pl) in placement.per_stage.iter().enumerate() {
+                for &(dev, heads) in stage_pl {
+                    let e = cohort.load[s].entry(dev).or_insert((0, 0));
+                    e.0 += heads as u64;
+                    e.1 += heads as u64 / gqa * ctx * unit;
+                }
+            }
+        }
+        self.requests.get_mut(&rid).expect("live").in_load_table = true;
+    }
+
+    /// Removes `rid`'s contribution from its cohort's load table (no-op
+    /// when not registered). Must run while the placement and context
+    /// that were last mirrored into the table are still intact — i.e.
+    /// *before* an eviction clears the placement or a re-dispatch
+    /// installs a new one.
+    fn load_table_remove(&mut self, inst: usize, rid: RequestId) {
+        if !self.requests[&rid].in_load_table {
+            return;
+        }
+        let gqa = self.model.gqa_ratio() as u64;
+        let unit = 2 * self.model.head_dim * self.model.dtype.bytes();
+        {
+            let r = &self.requests[&rid];
+            let ctx = r.context_len() as u64 + 1;
+            let placement = r.placement.as_ref().expect("registered request placed");
+            let cohort = &mut self.instances[inst].cohorts[r.cohort];
+            for (s, stage_pl) in placement.per_stage.iter().enumerate() {
+                for &(dev, heads) in stage_pl {
+                    let e = cohort.load[s]
+                        .get_mut(&dev)
+                        .expect("registered device present");
+                    e.0 -= heads as u64;
+                    e.1 -= heads as u64 / gqa * ctx * unit;
+                    if *e == (0, 0) {
+                        cohort.load[s].remove(&dev);
+                    }
+                }
+            }
+        }
+        self.requests.get_mut(&rid).expect("live").in_load_table = false;
+    }
+
+    /// Mirrors a one-token context growth of a registered request into
+    /// its cohort's load table: every resident head group reads one more
+    /// token next iteration.
+    fn load_table_bump_ctx(&mut self, inst: usize, rid: RequestId) {
+        let gqa = self.model.gqa_ratio() as u64;
+        let unit = 2 * self.model.head_dim * self.model.dtype.bytes();
+        let r = &self.requests[&rid];
+        debug_assert!(r.in_load_table);
+        let placement = r.placement.as_ref().expect("registered request placed");
+        let cohort = &mut self.instances[inst].cohorts[r.cohort];
+        for (s, stage_pl) in placement.per_stage.iter().enumerate() {
+            for &(dev, heads) in stage_pl {
+                let e = cohort.load[s]
+                    .get_mut(&dev)
+                    .expect("registered device present");
+                e.1 += heads as u64 / gqa * unit;
+            }
+        }
     }
 
     /// Drops `rid` from its cohort's member and mid-prefill lists,
@@ -1922,6 +2479,22 @@ fn slack_key(req: &hetis_workload::Request) -> SlackKey {
         arrival: req.arrival,
         id: req.id,
     }
+}
+
+/// Exact equality of formed stage loads (debug oracle check: integer
+/// table accounting must reproduce the rebuilt map bit-for-bit).
+#[cfg(debug_assertions)]
+fn loads_equal(a: &[Vec<AttnLoad>], b: &[Vec<AttnLoad>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.len() == y.len()
+                && x.iter().zip(y).all(|(l, m)| {
+                    l.device == m.device
+                        && l.remote == m.remote
+                        && l.work.query_heads == m.work.query_heads
+                        && l.work.kv_bytes == m.work.kv_bytes
+                })
+        })
 }
 
 /// Dilates a stage breakdown by a device slowdown factor.

@@ -8,13 +8,18 @@
 //!   budget, per-cohort microbatches keeping every pipeline stage busy
 //!   (vLLM's "virtual engines"),
 //! * **chunked prefill & SLO scheduling** — long prompts optionally
-//!   split into token-budget chunks interleaved with decode iterations,
-//!   and an admission queue ordered by TTFT slack instead of FIFO
-//!   (see [`config::EngineConfig::prefill_chunk_tokens`] and
+//!   split into token-budget chunks interleaved with decode iterations
+//!   or fused with them into single mixed microbatches, and an
+//!   admission queue ordered by TTFT slack instead of FIFO
+//!   (see [`config::EngineConfig::prefill_chunk_tokens`],
+//!   [`config::EngineConfig::fused_microbatches`] and
 //!   [`config::AdmissionPolicy`]),
-//! * **paged KV admission** — byte-accurate per-device pools with block
-//!   rounding; decode steps allocate before running and trigger the
-//!   policy's preemption path on exhaustion,
+//! * **fine-grained paged KV admission** — byte-accurate per-device
+//!   pools with block rounding; under chunking, admission reserves only
+//!   the first chunk + decode headroom and the reservation grows with
+//!   each completed chunk (`grow_tokens`); decode steps allocate before
+//!   running; both paths trigger the policy's preemption hooks on
+//!   exhaustion,
 //! * **head placements** — every request carries a per-stage map of which
 //!   device computes which query heads (trivially stage-local for the
 //!   baselines; LP-dispatched for Hetis),
@@ -46,5 +51,8 @@ pub use memory::{DeviceKv, KvState};
 pub use metrics::{ClassStats, CompletedRequest, ModuleSample, RunReport, TraceSample};
 pub use policy::{Handoff, Policy, PolicyCtx, RedispatchOp, VictimAction};
 pub use request::{Phase, RunningRequest};
-pub use stage::{decode_stage_breakdown, prefill_stage_breakdown, AttnLoad, StageBreakdown};
+pub use stage::{
+    decode_stage_breakdown, fused_stage_breakdown, prefill_stage_breakdown, AttnLoad,
+    StageBreakdown,
+};
 pub use topology::{HeadPlacement, InstanceRole, InstanceTopo, StageTopo, Topology};

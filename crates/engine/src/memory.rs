@@ -133,6 +133,36 @@ impl DeviceKv {
         Ok(())
     }
 
+    /// Bytes that growing every entry of `req` to `new_tokens` tokens
+    /// would newly consume (0 when no entry gains a block).
+    pub fn grow_cost(&self, req: RequestId, new_tokens: u32) -> u64 {
+        self.entries
+            .iter()
+            .filter(|&(&(r, _), _)| r == req)
+            .map(|(_, e)| {
+                let before = self.blocks_for(e.tokens);
+                let after = self.blocks_for(e.tokens.max(new_tokens));
+                (after - before) * e.groups as u64 * e.layers as u64 * self.block_unit
+            })
+            .sum()
+    }
+
+    /// Grows every entry of `req` on this device to `new_tokens` tokens —
+    /// the chunked-prefill reservation path: admission reserves the first
+    /// chunk, each completed chunk grows to cover the next. Entries
+    /// already at or past `new_tokens` are left alone. Fails without side
+    /// effects when the pool is short.
+    pub fn grow_tokens(&mut self, req: RequestId, new_tokens: u32) -> Result<(), u64> {
+        let cost = self.grow_cost(req, new_tokens);
+        if cost > 0 {
+            self.ledger.alloc_kv(cost).map_err(|e| e.available)?;
+        }
+        for (_, e) in self.entries.iter_mut().filter(|&(&(r, _), _)| r == req) {
+            e.tokens = e.tokens.max(new_tokens);
+        }
+        Ok(())
+    }
+
     /// Frees every entry of `req`; returns bytes released.
     pub fn free_request(&mut self, req: RequestId) -> u64 {
         let keys: Vec<(RequestId, u16)> = self
@@ -419,6 +449,55 @@ mod tests {
         let released = s.device_mut(d).free_request(r);
         assert_eq!(s.device(d).used_bytes(), 0);
         assert!(released > used);
+    }
+
+    #[test]
+    fn grow_tokens_matches_atomic_reservation() {
+        let mut grown = state();
+        let mut atomic = state();
+        let d = DeviceId(1);
+        let r = RequestId(3);
+        // Chunk schedule 300 + 300 + 177 vs one 777-token allocation.
+        grown.device_mut(d).allocate(r, 0, 8, 300, 40).unwrap();
+        grown.device_mut(d).allocate(r, 1, 4, 300, 40).unwrap();
+        for target in [600, 777] {
+            assert!(
+                grown.device_mut(d).grow_cost(r, target) > 0,
+                "each chunk adds blocks"
+            );
+            grown.device_mut(d).grow_tokens(r, target).unwrap();
+        }
+        atomic.device_mut(d).allocate(r, 0, 8, 777, 40).unwrap();
+        atomic.device_mut(d).allocate(r, 1, 4, 777, 40).unwrap();
+        assert_eq!(grown.device(d).used_bytes(), atomic.device(d).used_bytes());
+        assert_eq!(grown.device(d).entry(r, 0).unwrap().tokens, 777);
+        assert_eq!(grown.device(d).entry(r, 1).unwrap().tokens, 777);
+        // Shrinking targets are no-ops.
+        assert_eq!(grown.device(d).grow_cost(r, 100), 0);
+        grown.device_mut(d).grow_tokens(r, 100).unwrap();
+        assert_eq!(grown.device(d).used_bytes(), atomic.device(d).used_bytes());
+    }
+
+    #[test]
+    fn grow_tokens_exhaustion_has_no_side_effects() {
+        let c = paper_cluster();
+        let m = llama_70b();
+        let mut weights = HashMap::new();
+        let p100 = c.devices_of_type(hetis_cluster::GpuType::P100)[0];
+        weights.insert(p100, 10_000_000_000);
+        let mut s = KvState::new(&c, &m, 16, &weights).unwrap();
+        s.device_mut(p100)
+            .allocate(RequestId(1), 0, 8, 64, 80)
+            .unwrap();
+        let used = s.device(p100).used_bytes();
+        let res = s.device_mut(p100).grow_tokens(RequestId(1), 1_000_000);
+        assert!(res.is_err());
+        assert_eq!(s.device(p100).used_bytes(), used);
+        assert_eq!(s.device(p100).entry(RequestId(1), 0).unwrap().tokens, 64);
+        // Terminal zero: freeing the request balances the ledger exactly.
+        let released = s.device_mut(p100).free_request(RequestId(1));
+        assert_eq!(released, used);
+        assert_eq!(s.device(p100).used_bytes(), 0);
     }
 
     #[test]

@@ -169,6 +169,26 @@ pub struct RunReport {
     /// engine-internal mechanics (e.g. sampling cadence) without any
     /// behavioral meaning.
     pub events_processed: u64,
+    /// Peak KV bytes reserved across all devices, observed at event
+    /// boundaries. Under atomic admission this includes every admitted
+    /// prompt's full KV; under incremental growth it tracks only the
+    /// chunks reserved so far — the headline "fine-grained memory" win.
+    /// A memory-profile metric, not folded into [`RunReport::digest`]
+    /// (same policy as `events_processed`: the digest pins the serving
+    /// schedule, and the schedule already determines this value).
+    pub peak_kv_reserved_bytes: u64,
+    /// Microbatch iterations that fused a prefill chunk with a non-empty
+    /// decode batch (0 unless `EngineConfig::fused_microbatches`). A
+    /// mechanics counter, not digested.
+    pub fused_iterations: u64,
+    /// Successful incremental KV reservation growths (one per chunk that
+    /// extended a resident reservation). Not digested.
+    pub kv_growths: u64,
+    /// Reservation growths that failed after the victim loop and
+    /// recompute-preempted the growing request (subset of `preemptions`).
+    /// Not digested (the eviction itself is visible in the digested
+    /// per-request preemption counts).
+    pub kv_grow_failures: u64,
 }
 
 impl RunReport {
@@ -449,6 +469,10 @@ mod tests {
             prefill_iterations: 0,
             max_prefill_iter_tokens: 0,
             events_processed: 0,
+            peak_kv_reserved_bytes: 0,
+            fused_iterations: 0,
+            kv_growths: 0,
+            kv_grow_failures: 0,
         }
     }
 

@@ -41,6 +41,16 @@ pub struct RunningRequest {
     /// chunking is off, where a prefill completes atomically). Reset on
     /// recompute preemption — the whole context re-prefills.
     pub prefilled: u32,
+    /// KV tokens currently reserved per resident entry (uniform across
+    /// the request's devices). Atomic admission reserves the whole
+    /// effective prompt; incremental growth (chunked prefill) reserves
+    /// the first chunk plus decode headroom and grows per completed
+    /// chunk. 0 while unplaced.
+    pub kv_reserved: u32,
+    /// True while this request's decode attention load is registered in
+    /// its cohort's incremental per-device load table (engine-internal;
+    /// see the engine's `load_table_add`).
+    pub in_load_table: bool,
     /// Absolute times of produced tokens.
     pub token_times: Vec<f64>,
     /// Time the request was admitted to a prefill batch (for queueing
@@ -69,6 +79,8 @@ impl RunningRequest {
         RunningRequest {
             effective_input: req.input_len,
             prefilled: 0,
+            kv_reserved: 0,
+            in_load_table: false,
             req,
             phase: Phase::Waiting,
             instance,
@@ -120,6 +132,7 @@ impl RunningRequest {
     pub fn preempt_recompute(&mut self) {
         self.effective_input = self.req.input_len + self.generated;
         self.prefilled = 0;
+        self.kv_reserved = 0;
         self.phase = Phase::Waiting;
         self.placement = None;
         self.in_flight = false;

@@ -73,31 +73,82 @@ pub fn decode_stage_breakdown(
         return StageBreakdown::ZERO;
     }
     let costs = ModuleCosts::new(model);
-    let tp = stage.primary.tp() as f64;
+    let (proj, mlp) = dense_phase_max(cluster, &costs, stage, dense_tokens, DensePhase::Decode);
+    let attn = decode_attn_max(cluster, &costs, stage, attn_loads);
+    assemble_breakdown(
+        cluster,
+        model,
+        &costs,
+        stage,
+        proj,
+        mlp,
+        attn,
+        dense_tokens,
+        lm_head,
+    )
+}
 
-    // Dense modules on the TP group (max across devices — heterogeneous
-    // groups are legal even if the searches rarely pick them).
+/// Which kernel regime times the dense modules of an iteration.
+#[derive(Clone, Copy)]
+enum DensePhase {
+    /// Weight-streaming-bound one-token-per-sequence regime.
+    Decode,
+    /// Compute-bound regime (prefill chunks, and fused iterations whose
+    /// decode tokens ride the chunk's pass).
+    Prefill,
+}
+
+/// Projection and MLP times over the primary TP group: max across
+/// devices (heterogeneous groups are legal even if the searches rarely
+/// pick them).
+fn dense_phase_max(
+    cluster: &Cluster,
+    costs: &ModuleCosts<'_>,
+    stage: &StageTopo,
+    tokens: u64,
+    phase: DensePhase,
+) -> (f64, f64) {
+    let tp = stage.primary.tp() as f64;
     let mut proj = 0.0_f64;
     let mut mlp = 0.0_f64;
     for &d in &stage.primary.devices {
         let spec = cluster.spec(d);
         let proj_work = DenseWork {
-            flops: (costs.dense_flops(DenseOp::Qkv, dense_tokens)
-                + costs.dense_flops(DenseOp::OutProj, dense_tokens))
+            flops: (costs.dense_flops(DenseOp::Qkv, tokens)
+                + costs.dense_flops(DenseOp::OutProj, tokens))
                 / tp,
             weight_bytes: (costs.dense_weight_bytes(DenseOp::Qkv)
                 + costs.dense_weight_bytes(DenseOp::OutProj)) as f64
                 / tp,
         };
         let mlp_work = DenseWork {
-            flops: costs.dense_flops(DenseOp::Mlp, dense_tokens) / tp,
+            flops: costs.dense_flops(DenseOp::Mlp, tokens) / tp,
             weight_bytes: costs.dense_weight_bytes(DenseOp::Mlp) as f64 / tp,
         };
-        proj = proj.max(dense_decode_time(spec, proj_work, 2));
-        mlp = mlp.max(dense_decode_time(spec, mlp_work, 1));
+        let (t_proj, t_mlp) = match phase {
+            DensePhase::Decode => (
+                dense_decode_time(spec, proj_work, 2),
+                dense_decode_time(spec, mlp_work, 1),
+            ),
+            DensePhase::Prefill => (
+                dense_prefill_time(spec, proj_work, 2),
+                dense_prefill_time(spec, mlp_work, 1),
+            ),
+        };
+        proj = proj.max(t_proj);
+        mlp = mlp.max(t_mlp);
     }
+    (proj, mlp)
+}
 
-    // Attention phase: parallel across devices; max governs.
+/// Decode-attention phase: parallel across participating devices, max
+/// governs (Eq. 7a), remote workers pay the Eq. 4 transfer.
+fn decode_attn_max(
+    cluster: &Cluster,
+    costs: &ModuleCosts<'_>,
+    stage: &StageTopo,
+    attn_loads: &[AttnLoad],
+) -> f64 {
     let anchor = stage.primary.devices[0];
     let mut attn = 0.0_f64;
     for load in attn_loads {
@@ -113,13 +164,48 @@ pub fn decode_stage_breakdown(
         }
         attn = attn.max(t);
     }
+    attn
+}
 
-    // TP all-reduces (one after attention projection, one after MLP).
+/// Chunk (quadratic prefill) attention on the primary TP group: max
+/// across devices of the batch's total attention FLOPs / tp.
+fn prefill_attn_max(
+    cluster: &Cluster,
+    model: &ModelSpec,
+    stage: &StageTopo,
+    batch: &PrefillBatch,
+) -> f64 {
+    let tp = stage.primary.tp() as f64;
+    let attn_flops_total = 2.0 * model.num_heads as f64 * model.head_dim as f64 * batch.sq_sum;
+    let mut attn = 0.0_f64;
+    for &d in &stage.primary.devices {
+        attn = attn.max(attn_prefill_time(cluster.spec(d), attn_flops_total / tp));
+    }
+    attn
+}
+
+/// Folds per-layer module times into the stage breakdown: TP all-reduces
+/// (one after attention projection, one after MLP) over `comm_tokens`
+/// of activations, the LM-head stream when this is the last stage, and
+/// the layer multiplication.
+#[allow(clippy::too_many_arguments)]
+fn assemble_breakdown(
+    cluster: &Cluster,
+    model: &ModelSpec,
+    costs: &ModuleCosts<'_>,
+    stage: &StageTopo,
+    proj: f64,
+    mlp: f64,
+    attn: f64,
+    comm_tokens: u64,
+    lm_head: bool,
+) -> StageBreakdown {
+    let tp = stage.primary.tp() as f64;
     let comm_layer = if stage.primary.tp() > 1 {
         2.0 * all_reduce_time(
             cluster.worst_link(&stage.primary.devices),
             stage.primary.tp(),
-            costs.activation_bytes(dense_tokens) as f64,
+            costs.activation_bytes(comm_tokens) as f64,
         )
     } else {
         0.0
@@ -158,58 +244,62 @@ pub fn prefill_stage_breakdown(
         return StageBreakdown::ZERO;
     }
     let costs = ModuleCosts::new(model);
-    let tp = stage.primary.tp() as f64;
+    let (proj, mlp) = dense_phase_max(cluster, &costs, stage, batch.tokens, DensePhase::Prefill);
+    let attn = prefill_attn_max(cluster, model, stage, batch);
+    assemble_breakdown(
+        cluster,
+        model,
+        &costs,
+        stage,
+        proj,
+        mlp,
+        attn,
+        batch.tokens,
+        lm_head,
+    )
+}
 
-    let mut proj = 0.0_f64;
-    let mut mlp = 0.0_f64;
-    let mut attn = 0.0_f64;
-    let attn_flops_total = 2.0 * model.num_heads as f64 * model.head_dim as f64 * batch.sq_sum;
-    for &d in &stage.primary.devices {
-        let spec = cluster.spec(d);
-        let proj_work = DenseWork {
-            flops: (costs.dense_flops(DenseOp::Qkv, batch.tokens)
-                + costs.dense_flops(DenseOp::OutProj, batch.tokens))
-                / tp,
-            weight_bytes: (costs.dense_weight_bytes(DenseOp::Qkv)
-                + costs.dense_weight_bytes(DenseOp::OutProj)) as f64
-                / tp,
-        };
-        let mlp_work = DenseWork {
-            flops: costs.dense_flops(DenseOp::Mlp, batch.tokens) / tp,
-            weight_bytes: costs.dense_weight_bytes(DenseOp::Mlp) as f64 / tp,
-        };
-        proj = proj.max(dense_prefill_time(spec, proj_work, 2));
-        mlp = mlp.max(dense_prefill_time(spec, mlp_work, 1));
-        attn = attn.max(attn_prefill_time(spec, attn_flops_total / tp));
+/// Fused prefill+decode iteration breakdown for one stage — the cost
+/// model of vLLM-style chunked prefill's mixed batches.
+///
+/// The decode batch's `dense_tokens` ride the chunk's dense pass: one
+/// projection/MLP kernel runs over `batch.tokens + dense_tokens` tokens
+/// with the layer weights streamed **once** (in the alternating loop the
+/// same work pays the weight stream and launch overheads twice, plus two
+/// all-reduce rounds and two LM-head streams — that duplicated fixed cost
+/// is exactly the TPOT the fusion claws back). The attention phase runs
+/// the chunk's quadratic kernel on the primary TP group and then the
+/// decode batch's distributed kernels (max across participating devices),
+/// sequentially — they are distinct kernels over disjoint query sets.
+///
+/// Degenerates exactly to [`prefill_stage_breakdown`] when the decode
+/// batch is empty and to [`decode_stage_breakdown`] when the chunk is.
+pub fn fused_stage_breakdown(
+    cluster: &Cluster,
+    model: &ModelSpec,
+    stage: &StageTopo,
+    batch: &PrefillBatch,
+    dense_tokens: u64,
+    attn_loads: &[AttnLoad],
+    lm_head: bool,
+) -> StageBreakdown {
+    if batch.tokens == 0 {
+        return decode_stage_breakdown(cluster, model, stage, dense_tokens, attn_loads, lm_head);
     }
-
-    let comm_layer = if stage.primary.tp() > 1 {
-        2.0 * all_reduce_time(
-            cluster.worst_link(&stage.primary.devices),
-            stage.primary.tp(),
-            costs.activation_bytes(batch.tokens) as f64,
-        )
-    } else {
-        0.0
-    };
-
-    let layers = stage.primary.layers as f64;
-    let lm = if lm_head {
-        lm_head_time(cluster, model, stage, tp)
-    } else {
-        0.0
-    };
-    let proj_total = proj * layers;
-    let mlp_total = mlp * layers;
-    let attn_total = attn * layers;
-    let comm_total = comm_layer * layers + lm;
-    StageBreakdown {
-        proj: proj_total,
-        mlp: mlp_total,
-        attn: attn_total,
-        comm: comm_total,
-        total: proj_total + mlp_total + attn_total + comm_total,
+    if dense_tokens == 0 {
+        return prefill_stage_breakdown(cluster, model, stage, batch, lm_head);
     }
+    let costs = ModuleCosts::new(model);
+    let combined = batch.tokens + dense_tokens;
+    let (proj, mlp) = dense_phase_max(cluster, &costs, stage, combined, DensePhase::Prefill);
+    // The attention phase stacks both kernels: the chunk's quadratic
+    // kernel on the primaries, then the decode batch's distributed
+    // kernels — distinct kernels over disjoint query sets.
+    let attn = prefill_attn_max(cluster, model, stage, batch)
+        + decode_attn_max(cluster, &costs, stage, attn_loads);
+    assemble_breakdown(
+        cluster, model, &costs, stage, proj, mlp, attn, combined, lm_head,
+    )
 }
 
 fn lm_head_time(cluster: &Cluster, model: &ModelSpec, stage: &StageTopo, tp: f64) -> f64 {
@@ -383,6 +473,50 @@ mod tests {
         // Dense doubles, attention quadruples.
         assert!(b2.mlp / b1.mlp > 1.8 && b2.mlp / b1.mlp < 2.3);
         assert!(b2.attn / b1.attn > 3.5 && b2.attn / b1.attn < 4.5);
+    }
+
+    #[test]
+    fn fused_degenerates_to_pure_phases() {
+        let c = paper_cluster();
+        let m = llama_70b();
+        let s = a100_stage(&c, 80);
+        let batch = PrefillBatch::uniform(2, 512);
+        let loads = local_loads(&c, &s, &m, 16, 800);
+        // Empty decode side ⇒ exactly the prefill breakdown.
+        assert_eq!(
+            fused_stage_breakdown(&c, &m, &s, &batch, 0, &[], true),
+            prefill_stage_breakdown(&c, &m, &s, &batch, true)
+        );
+        // Empty chunk ⇒ exactly the decode breakdown.
+        assert_eq!(
+            fused_stage_breakdown(&c, &m, &s, &PrefillBatch::default(), 16, &loads, true),
+            decode_stage_breakdown(&c, &m, &s, 16, &loads, true)
+        );
+    }
+
+    #[test]
+    fn fused_beats_back_to_back_iterations() {
+        // The fusion claim: one combined iteration is cheaper than a chunk
+        // iteration followed by a decode iteration (weights streamed once,
+        // one comm round, one LM head), yet dearer than either alone.
+        let c = paper_cluster();
+        let m = llama_70b();
+        let s = a100_stage(&c, 80);
+        let batch = PrefillBatch::uniform(1, 512);
+        let loads = local_loads(&c, &s, &m, 32, 1500);
+        let fused = fused_stage_breakdown(&c, &m, &s, &batch, 32, &loads, true);
+        let prefill = prefill_stage_breakdown(&c, &m, &s, &batch, true);
+        let decode = decode_stage_breakdown(&c, &m, &s, 32, &loads, true);
+        assert!(
+            fused.total < prefill.total + decode.total,
+            "fused {} vs sequential {}",
+            fused.total,
+            prefill.total + decode.total
+        );
+        assert!(fused.total > prefill.total);
+        assert!(fused.total > decode.total);
+        // The attention phase stacks both kernels.
+        assert!(fused.attn > prefill.attn && fused.attn > decode.attn);
     }
 
     #[test]

@@ -152,6 +152,42 @@ impl HeadwiseAllocator {
         Ok(())
     }
 
+    /// Grows *every* resident group of `seq` to hold `new_total` tokens
+    /// (chunked prefill: the reservation follows completed chunks instead
+    /// of paying the whole prompt at admission). All-or-nothing: on
+    /// failure no group advanced and the pool is unchanged. Groups
+    /// already at or past `new_total` are left alone.
+    pub fn grow_tokens_all_groups(&mut self, seq: SeqId, new_total: u32) -> Result<(), AllocError> {
+        let groups = self
+            .groups
+            .get(&seq)
+            .cloned()
+            .expect("unknown sequence on this device");
+        let target_blocks = self.config.blocks_for(new_total);
+        // First pass: count needed blocks across all groups.
+        let mut need = 0u32;
+        for &g in &groups {
+            let t = &self.tables[&(seq, g)];
+            need += target_blocks.saturating_sub(t.blocks.len() as u32);
+        }
+        if need > self.free_blocks() {
+            return Err(AllocError {
+                requested: need,
+                free: self.free_blocks(),
+            });
+        }
+        for &g in &groups {
+            let t = self.tables.get_mut(&(seq, g)).expect("present");
+            let add = target_blocks.saturating_sub(t.blocks.len() as u32);
+            for _ in 0..add {
+                t.blocks.push(self.free.pop().expect("checked"));
+                self.store_ops += 1;
+            }
+            t.tokens = t.tokens.max(new_total);
+        }
+        Ok(())
+    }
+
     /// Frees one head group of a sequence (e.g. after migrating it away).
     /// Returns the number of blocks released.
     pub fn free_group(&mut self, seq: SeqId, group: GroupId) -> u32 {
@@ -261,6 +297,36 @@ mod tests {
         for g in 0..3 {
             assert_eq!(a.tokens_of(SeqId(1), GroupId(g)), Some(16));
         }
+    }
+
+    #[test]
+    fn grow_tokens_extends_every_group() {
+        let mut a = alloc(100);
+        a.allocate_groups(SeqId(1), &groups(&[0, 1]), 16).unwrap();
+        assert_eq!(a.used_blocks(), 2);
+        a.grow_tokens_all_groups(SeqId(1), 40).unwrap(); // 3 blocks/group
+        assert_eq!(a.used_blocks(), 6);
+        assert_eq!(a.tokens_of(SeqId(1), GroupId(0)), Some(40));
+        assert_eq!(a.tokens_of(SeqId(1), GroupId(1)), Some(40));
+        // No-op growth.
+        a.grow_tokens_all_groups(SeqId(1), 30).unwrap();
+        assert_eq!(a.used_blocks(), 6);
+        assert_eq!(a.tokens_of(SeqId(1), GroupId(0)), Some(40));
+    }
+
+    #[test]
+    fn grow_tokens_all_or_nothing_on_exhaustion() {
+        let mut a = alloc(4);
+        a.allocate_groups(SeqId(1), &groups(&[0, 1]), 16).unwrap();
+        let err = a.grow_tokens_all_groups(SeqId(1), 48).unwrap_err();
+        assert_eq!(err.requested, 4);
+        assert_eq!(err.free, 2);
+        // No group advanced, the pool is unchanged.
+        assert_eq!(a.tokens_of(SeqId(1), GroupId(0)), Some(16));
+        assert_eq!(a.tokens_of(SeqId(1), GroupId(1)), Some(16));
+        assert_eq!(a.free_blocks(), 2);
+        a.grow_tokens_all_groups(SeqId(1), 32).unwrap();
+        assert_eq!(a.free_blocks(), 0);
     }
 
     #[test]

@@ -137,6 +137,33 @@ impl PagedAllocator {
         Ok(())
     }
 
+    /// Grows a sequence's table to hold `new_total` tokens (chunked
+    /// prefill: each completed chunk extends the reservation by the next
+    /// chunk instead of paying the whole prompt at admission).
+    /// All-or-nothing: on failure the pool and table are unchanged.
+    /// A `new_total` at or below the current count is a no-op.
+    pub fn grow_tokens(&mut self, seq: SeqId, new_total: u32) -> Result<(), AllocError> {
+        let free_now = self.free_blocks();
+        let table = self.tables.get_mut(&seq).expect("unknown sequence");
+        if new_total <= table.tokens {
+            return Ok(());
+        }
+        let have = table.blocks.len() as u32;
+        let need = self.config.blocks_for(new_total).saturating_sub(have);
+        if need > free_now {
+            return Err(AllocError {
+                requested: need,
+                free: free_now,
+            });
+        }
+        for _ in 0..need {
+            table.blocks.push(self.free.pop().expect("checked"));
+            self.store_ops += 1;
+        }
+        table.tokens = new_total;
+        Ok(())
+    }
+
     /// Releases all blocks of a sequence (completion or preemption).
     pub fn free_seq(&mut self, seq: SeqId) {
         if let Some(table) = self.tables.remove(&seq) {
@@ -201,6 +228,39 @@ mod tests {
         a.append_token(SeqId(1)).unwrap(); // 33rd token → block 3
         assert_eq!(a.used_blocks(), 3);
         assert_eq!(a.tokens_of(SeqId(1)), Some(33));
+    }
+
+    #[test]
+    fn grow_tokens_extends_in_chunks() {
+        let mut a = alloc(10);
+        a.allocate_seq(SeqId(1), 16).unwrap(); // chunk 1: 1 block
+        assert_eq!(a.used_blocks(), 1);
+        a.grow_tokens(SeqId(1), 48).unwrap(); // chunks 2-3: +2 blocks
+        assert_eq!(a.used_blocks(), 3);
+        assert_eq!(a.tokens_of(SeqId(1)), Some(48));
+        // Shrinking targets and same-size targets are no-ops.
+        a.grow_tokens(SeqId(1), 48).unwrap();
+        a.grow_tokens(SeqId(1), 10).unwrap();
+        assert_eq!(a.used_blocks(), 3);
+        assert_eq!(a.tokens_of(SeqId(1)), Some(48));
+        // Growth composes with appends at the new boundary.
+        a.append_token(SeqId(1)).unwrap(); // 49th token → block 4
+        assert_eq!(a.used_blocks(), 4);
+    }
+
+    #[test]
+    fn grow_tokens_all_or_nothing_on_exhaustion() {
+        let mut a = alloc(3);
+        a.allocate_seq(SeqId(1), 16).unwrap();
+        let err = a.grow_tokens(SeqId(1), 100).unwrap_err();
+        assert_eq!(err.requested, 6);
+        assert_eq!(err.free, 2);
+        // Failed growth leaves the table and pool untouched.
+        assert_eq!(a.tokens_of(SeqId(1)), Some(16));
+        assert_eq!(a.free_blocks(), 2);
+        // A fitting growth still succeeds afterwards.
+        a.grow_tokens(SeqId(1), 48).unwrap();
+        assert_eq!(a.free_blocks(), 0);
     }
 
     #[test]

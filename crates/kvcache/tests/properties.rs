@@ -7,9 +7,9 @@ use proptest::prelude::*;
 
 proptest! {
     /// Paged allocator conserves blocks across an arbitrary workload of
-    /// allocate / append / free operations.
+    /// allocate / append / grow / free operations.
     #[test]
-    fn paged_block_conservation(ops in proptest::collection::vec((0u8..3, 0u64..8, 1u32..80), 1..200)) {
+    fn paged_block_conservation(ops in proptest::collection::vec((0u8..4, 0u64..8, 1u32..80), 1..200)) {
         let cfg = BlockConfig { block_size: 16, num_blocks: 64 };
         let mut a = PagedAllocator::new(cfg);
         let mut live: Vec<u64> = Vec::new();
@@ -23,6 +23,11 @@ proptest! {
                 1 => {
                     if live.contains(&seq) {
                         let _ = a.append_token(SeqId(seq));
+                    }
+                }
+                2 => {
+                    if live.contains(&seq) {
+                        let _ = a.grow_tokens(SeqId(seq), tokens);
                     }
                 }
                 _ => {
@@ -43,7 +48,7 @@ proptest! {
     /// Headwise allocator conserves blocks under group-level churn.
     #[test]
     fn headwise_block_conservation(
-        ops in proptest::collection::vec((0u8..4, 0u64..6, 0u16..8, 1u32..60), 1..150)
+        ops in proptest::collection::vec((0u8..5, 0u64..6, 0u16..8, 1u32..60), 1..150)
     ) {
         let cfg = BlockConfig { block_size: 16, num_blocks: 256 };
         let mut a = HeadwiseAllocator::new(cfg);
@@ -60,6 +65,11 @@ proptest! {
                     }
                 }
                 2 => {
+                    if !a.groups_of(SeqId(seq)).is_empty() {
+                        let _ = a.grow_tokens_all_groups(SeqId(seq), tokens);
+                    }
+                }
+                3 => {
                     let _ = a.free_group(SeqId(seq), GroupId(group));
                 }
                 _ => {
@@ -74,6 +84,46 @@ proptest! {
             a.free_seq(s);
         }
         prop_assert_eq!(a.free_blocks(), cfg.num_blocks);
+    }
+
+    /// Chunk-by-chunk growth telescopes: growing a sequence through an
+    /// arbitrary chunk schedule lands on exactly the block count (and
+    /// token count) of a single up-front allocation of the total — the
+    /// incremental-KV path never over- or under-reserves.
+    #[test]
+    fn chunked_growth_telescopes_to_atomic(
+        chunks in proptest::collection::vec(1u32..600, 1..12),
+    ) {
+        let total: u32 = chunks.iter().sum();
+        let cfg = BlockConfig { block_size: 16, num_blocks: 4096 };
+        // Paged: allocate the first chunk, grow by each subsequent chunk.
+        let mut grown = PagedAllocator::new(cfg);
+        grown.allocate_seq(SeqId(1), chunks[0]).unwrap();
+        let mut so_far = chunks[0];
+        for &c in &chunks[1..] {
+            so_far += c;
+            grown.grow_tokens(SeqId(1), so_far).unwrap();
+        }
+        let mut atomic = PagedAllocator::new(cfg);
+        atomic.allocate_seq(SeqId(1), total).unwrap();
+        prop_assert_eq!(grown.used_blocks(), atomic.used_blocks());
+        prop_assert_eq!(grown.tokens_of(SeqId(1)), Some(total));
+
+        // Headwise: same schedule over several resident groups.
+        let gs = [GroupId(0), GroupId(3), GroupId(7)];
+        let mut hg = HeadwiseAllocator::new(cfg);
+        hg.allocate_groups(SeqId(1), &gs, chunks[0]).unwrap();
+        let mut so_far = chunks[0];
+        for &c in &chunks[1..] {
+            so_far += c;
+            hg.grow_tokens_all_groups(SeqId(1), so_far).unwrap();
+        }
+        let mut ha = HeadwiseAllocator::new(cfg);
+        ha.allocate_groups(SeqId(1), &gs, total).unwrap();
+        prop_assert_eq!(hg.used_blocks(), ha.used_blocks());
+        for g in gs {
+            prop_assert_eq!(hg.tokens_of(SeqId(1), g), Some(total));
+        }
     }
 
     /// Migration plans are exact: applying moves+frees to the old placement
