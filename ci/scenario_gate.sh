@@ -31,6 +31,12 @@ done
 fail=0
 
 # ---- 1. digest pinning ----------------------------------------------------
+# The scenario benches run with telemetry DISABLED, so this diff doubles
+# as the telemetry-neutrality gate: scenario_slo_mix additionally runs
+# chunked+priority with the streaming bus attached and asserts (in-bench)
+# that its digest equals the telemetry-off one — any tap that perturbs
+# the simulation therefore fails both the bench's own assert and, if it
+# leaks into the disabled path, these pins, in both solver modes.
 actual="$outdir/digests.tsv"
 : > "$actual"
 for solver in waterfill simplex; do
@@ -74,5 +80,27 @@ while IFS=$'\t' read -r scenario system floor; do
     echo "throughput floor: $scenario/$system sim_per_wall $got >= $floor"
   fi
 done < ci/sim_throughput_floors.tsv
+
+# ---- 3. telemetry-enabled smoke -------------------------------------------
+# Runs the live_telemetry example (step-driven engine, 1 s queue/KV tick,
+# JSONL flow log) and checks its self-validation markers: a non-empty
+# final snapshot and one parseable flow record per completion.
+echo "== live_telemetry smoke"
+smoke="$outdir/live_telemetry.out"
+if cargo run --release --example live_telemetry > "$smoke" 2>&1; then
+  for marker in snapshot-ok jsonl-ok; do
+    if ! grep -q "^$marker" "$smoke"; then
+      echo "FAIL: live_telemetry did not print '$marker'" >&2
+      fail=1
+    fi
+  done
+  if [[ $fail -eq 0 ]]; then
+    echo "telemetry smoke: $(grep -c . "$smoke") lines, markers present"
+  fi
+else
+  echo "FAIL: live_telemetry example exited non-zero" >&2
+  tail -5 "$smoke" >&2
+  fail=1
+fi
 
 exit $fail

@@ -27,6 +27,7 @@ use hetis_cluster::cluster::paper_cluster;
 use hetis_core::HetisPolicy;
 use hetis_engine::{run, AdmissionPolicy, RunReport};
 use hetis_model::llama_13b;
+use hetis_telemetry::TelemetryConfig;
 use hetis_workload::{multi_tenant_trace, DatasetKind, SloClass, TenantId, TenantSpec};
 
 fn main() {
@@ -195,6 +196,89 @@ fn main() {
     );
 
     assert!(deterministic, "same seed must reproduce the run");
+
+    // Telemetry: the same chunked+priority run with the full-run
+    // streaming bus attached must (a) reproduce the disabled run's
+    // digest bit-for-bit — the zero-cost gating contract; the CI digest
+    // pins above are the telemetry-OFF side of this comparison — (b)
+    // stream per-class p99 TTFTs equal to the end-of-run report's
+    // (full-run windows hold the identical sample multiset and use the
+    // same percentile function), and (c) cost < 5% wall time
+    // (min-of-3, interleaved with fresh OFF runs so machine noise hits
+    // both sides). No behavior-digest row is printed for this run: the
+    // digest is asserted equal to the pinned chunked+priority one, so a
+    // separate pin would be redundant.
+    let run_telemetry = || -> RunReport {
+        let mut cfg = bench_engine_config();
+        cfg.prefill_chunk_tokens = Some(512);
+        cfg.admission = AdmissionPolicy::SloSlack;
+        cfg.telemetry = Some(TelemetryConfig::full_run());
+        run(
+            HetisPolicy::new(bench_hetis_config(), profile),
+            &cluster,
+            &model,
+            cfg,
+            &trace,
+        )
+    };
+    let mut wall_off = f64::INFINITY;
+    let mut wall_on = f64::INFINITY;
+    let mut on = None;
+    for _ in 0..3 {
+        let t = std::time::Instant::now();
+        let off = run_named("chunked+priority");
+        wall_off = wall_off.min(t.elapsed().as_secs_f64());
+        let t = std::time::Instant::now();
+        let with_bus = run_telemetry();
+        wall_on = wall_on.min(t.elapsed().as_secs_f64());
+        assert_eq!(
+            off.digest(),
+            with_bus.digest(),
+            "telemetry must be digest-neutral"
+        );
+        on = Some(with_bus);
+    }
+    let on = on.expect("three telemetry runs happened");
+    let snap = on.telemetry.as_ref().expect("telemetry was enabled");
+    assert_eq!(snap.completions, on.completed.len() as u64);
+    for s in on.class_stats() {
+        if s.completed == 0 {
+            continue;
+        }
+        let streamed = snap
+            .p99_ttft(s.class)
+            .expect("completed class has streaming stats");
+        assert!(
+            (streamed - s.p99_ttft).abs() <= 1e-9,
+            "streaming p99 TTFT diverged from report for {}: {streamed} vs {}",
+            s.class,
+            s.p99_ttft
+        );
+    }
+    let overhead_pct = 100.0 * (wall_on - wall_off) / wall_off;
+    println!(
+        "slo_mix\ttelemetry\tchunked+priority\twall_off_s={}\twall_on_s={}\toverhead_pct={}\tevents={}\tdropped={}",
+        f(wall_off),
+        f(wall_on),
+        f(overhead_pct),
+        snap.events_published,
+        on.telemetry_dropped,
+    );
+    // sim-throughput-style row for the telemetry-ON run so BENCH records
+    // can quote on/off side by side (not floor-gated: the floors file
+    // only lists the plain systems).
+    println!(
+        "slo_mix\tsim-throughput\tchunked+priority+telemetry\tsim_s={}\twall_s={}\tsim_per_wall={}\tevents={}\tevents_per_s={}",
+        f(on.duration),
+        f(wall_on),
+        f(on.duration / wall_on),
+        on.events_processed,
+        f(on.events_processed as f64 / wall_on),
+    );
+    assert!(
+        overhead_pct < 5.0,
+        "telemetry must stay under 5% wall overhead, measured {overhead_pct:.2}%"
+    );
     let p99_slo = p99_interactive["chunked+priority"];
     let p99_fifo = p99_interactive["fifo-atomic"];
     assert!(

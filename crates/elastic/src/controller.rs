@@ -23,6 +23,7 @@ use hetis_engine::{
     ClusterEvent, ClusterEventKind, DeviceHealth, HeadPlacement, HealthView, InstanceRole, Phase,
     PolicyCtx, RedispatchOp, Topology,
 };
+use hetis_telemetry::TelemetrySnapshot;
 use hetis_workload::RequestId;
 
 /// Controller tunables.
@@ -102,6 +103,8 @@ pub struct ElasticController {
     hetis: HetisConfig,
     profile: WorkloadProfile,
     cfg: ElasticConfig,
+    /// Telemetry snapshots fed in via [`Self::observe`], newest last.
+    observations: Vec<TelemetrySnapshot>,
 }
 
 impl ElasticController {
@@ -111,6 +114,7 @@ impl ElasticController {
             hetis,
             profile,
             cfg: ElasticConfig::default(),
+            observations: Vec::new(),
         }
     }
 
@@ -118,6 +122,32 @@ impl ElasticController {
     pub fn with_config(mut self, cfg: ElasticConfig) -> Self {
         self.cfg = cfg;
         self
+    }
+
+    /// Feeds a live telemetry snapshot (queue depths, streaming
+    /// per-class percentiles, KV occupancy) into the controller. The
+    /// snapshots are retained as the signal stream a demand-driven
+    /// scaling decision would consume — churn replans today are purely
+    /// event-triggered, so observations inform diagnostics (see
+    /// [`Self::max_observed_queue_depth`]) rather than gate
+    /// [`Self::replan`].
+    pub fn observe(&mut self, snapshot: &TelemetrySnapshot) {
+        self.observations.push(snapshot.clone());
+    }
+
+    /// Every snapshot fed via [`Self::observe`], oldest first.
+    pub fn observations(&self) -> &[TelemetrySnapshot] {
+        &self.observations
+    }
+
+    /// Largest admission-queue depth seen across all observed snapshots
+    /// — the simplest scale-up pressure signal.
+    pub fn max_observed_queue_depth(&self) -> u32 {
+        self.observations
+            .iter()
+            .map(|s| s.max_queue_depth())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Computes the plan for one event. `ctx.topology` is the engine's
@@ -473,6 +503,40 @@ mod tests {
 
     fn full_health(c: &Cluster) -> Vec<DeviceHealth> {
         vec![DeviceHealth::NOMINAL; c.len()]
+    }
+
+    #[test]
+    fn observe_accumulates_snapshots() {
+        use hetis_core::WorkloadProfile;
+        use hetis_telemetry::QueueDepthStat;
+        use hetis_workload::DatasetKind;
+        let mut ctl = ElasticController::new(
+            HetisConfig::default(),
+            WorkloadProfile::from_dataset(DatasetKind::ShareGpt, 8),
+        );
+        assert_eq!(ctl.max_observed_queue_depth(), 0);
+        for (t, depth) in [(1.0, 3u32), (2.0, 9), (3.0, 5)] {
+            let snap = TelemetrySnapshot {
+                now: t,
+                window_secs: f64::INFINITY,
+                events_published: 1,
+                events_buffered: 1,
+                dropped: 0,
+                completions: 0,
+                open_flows: 0,
+                classes: vec![],
+                queue_depths: vec![QueueDepthStat {
+                    time: t,
+                    instance: 0,
+                    waiting: depth,
+                    running: 2,
+                }],
+                kv: None,
+            };
+            ctl.observe(&snap);
+        }
+        assert_eq!(ctl.observations().len(), 3);
+        assert_eq!(ctl.max_observed_queue_depth(), 9);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Engine tuning knobs.
 
+use hetis_telemetry::TelemetryConfig;
+
 /// How the admission queue is ordered when prefill batches are formed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AdmissionPolicy {
@@ -62,6 +64,13 @@ pub struct EngineConfig {
     /// Stop simulating this long after the last arrival even if requests
     /// are still running (guards against pathological stalls).
     pub drain_timeout: f64,
+    /// Streaming telemetry bus (`None` = off, the default). When `Some`,
+    /// the engine taps every request lifecycle edge onto a
+    /// [`hetis_telemetry::TelemetryBus`] and samples queue depths / KV
+    /// occupancy on the config's tick. Strictly zero-cost when `None`:
+    /// no bus is constructed, no event is published, and the run's
+    /// behavior digest is bit-identical either way (DESIGN.md §T).
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for EngineConfig {
@@ -78,6 +87,7 @@ impl Default for EngineConfig {
             seed: 0xC0FFEE,
             trace_sample_period: 1.0,
             drain_timeout: 600.0,
+            telemetry: None,
         }
     }
 }
@@ -96,5 +106,6 @@ mod tests {
         assert!(!c.fused_microbatches);
         assert_eq!(c.decode_headroom_tokens, 16);
         assert_eq!(c.admission, AdmissionPolicy::Fifo);
+        assert!(c.telemetry.is_none(), "telemetry is opt-in");
     }
 }

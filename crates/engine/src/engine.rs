@@ -19,6 +19,7 @@ use hetis_cluster::{AttnWork, Cluster, DeviceId, MigrationStream};
 use hetis_model::ModelSpec;
 use hetis_parallel::{device_weight_bytes, InstanceConfig, ParallelConfig, PrefillBatch};
 use hetis_sim::{Clock, EventQueue, FifoQueue, SimTime, SplitMix64};
+use hetis_telemetry::{FlowCompletion, FlowEvent, FlowEventKind, TelemetryBus, TelemetrySnapshot};
 use hetis_workload::{RequestId, Trace};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -40,6 +41,11 @@ enum Event {
     ClusterChange(usize),
     /// A draining device's preemption notice expires — it dies now.
     DrainDeadline(DeviceId),
+    /// Periodic telemetry sampling (queue depths, KV occupancy). Only
+    /// ever scheduled when `EngineConfig::telemetry` is on with a
+    /// positive `sample_period`; `events_processed` is not digested, so
+    /// the extra events keep digests bit-identical.
+    TelemetryTick,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -280,6 +286,14 @@ pub struct Engine<'a, P: Policy> {
     fused_iterations: u64,
     kv_growths: u64,
     kv_grow_failures: u64,
+    /// Streaming telemetry bus (`None` = disabled; every tap is a no-op
+    /// and no event/ring/aggregator exists — the zero-cost contract).
+    telemetry: Option<TelemetryBus>,
+    /// `Sample` + `TelemetryTick` events currently queued (each chain
+    /// holds at most one). The liveness guard subtracts these so the two
+    /// sampler chains cannot keep *each other* alive until the drain
+    /// deadline after the last request completes.
+    sampling_pending: u32,
 }
 
 /// Runs `policy` over `trace` on `cluster`/`model`; returns the report —
@@ -388,8 +402,21 @@ impl<'a, P: Policy> Engine<'a, P> {
             events.schedule(SimTime::from_secs(ev.time), Event::ClusterChange(i));
         }
         let last_arrival = trace.horizon();
+        let mut sampling_pending = 0u32;
         if cfg.trace_sample_period > 0.0 {
             events.schedule(SimTime::from_secs(cfg.trace_sample_period), Event::Sample);
+            sampling_pending += 1;
+        }
+        // Telemetry (off by default): build the bus up front so the ring
+        // never reallocates mid-run, and seed the periodic tick.
+        let telemetry = cfg.telemetry.as_ref().map(|t| {
+            TelemetryBus::new(t, topo.instances.len()).expect("telemetry sink path unwritable")
+        });
+        if let Some(t) = &cfg.telemetry {
+            if t.sample_period > 0.0 {
+                events.schedule(SimTime::from_secs(t.sample_period), Event::TelemetryTick);
+                sampling_pending += 1;
+            }
         }
 
         let original_roles = topo.instances.iter().map(|i| i.role).collect();
@@ -429,6 +456,8 @@ impl<'a, P: Policy> Engine<'a, P> {
             fused_iterations: 0,
             kv_growths: 0,
             kv_grow_failures: 0,
+            telemetry,
+            sampling_pending,
         };
         // Late joiners: a device whose first scheduled event is a Join is
         // absent at startup.
@@ -451,29 +480,120 @@ impl<'a, P: Policy> Engine<'a, P> {
 
     /// Drives the event loop until quiescence or drain timeout.
     pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+
+    /// Executes the next pending event; returns `false` at quiescence or
+    /// once the drain deadline passes. Step-level access exists so live
+    /// consumers (telemetry pollers, controllers, tests) can interleave
+    /// [`Engine::telemetry_snapshot`] reads with simulation progress.
+    pub fn step(&mut self) -> bool {
         let deadline = self.last_arrival + self.cfg.drain_timeout;
-        while let Some((at, event)) = self.events.pop() {
-            if at.as_secs() > deadline {
-                break;
-            }
-            self.clock.advance_to(at);
-            self.events_processed += 1;
-            match event {
-                Event::Arrival(i) => self.on_arrival(i),
-                Event::UbatchDone { inst, cohort } => self.on_ubatch_done(inst, cohort),
-                Event::MigrationDone { req, epoch } => self.on_migration_done(req, epoch),
-                Event::Sample => self.on_sample(),
-                Event::ClusterChange(i) => self.on_cluster_change(i),
-                Event::DrainDeadline(dev) => self.on_drain_deadline(dev),
-            }
+        let Some((at, event)) = self.events.pop() else {
+            return false;
+        };
+        if at.as_secs() > deadline {
+            return false;
+        }
+        self.clock.advance_to(at);
+        self.events_processed += 1;
+        if matches!(event, Event::Sample | Event::TelemetryTick) {
+            self.sampling_pending -= 1;
+        }
+        match event {
+            Event::Arrival(i) => self.on_arrival(i),
+            Event::UbatchDone { inst, cohort } => self.on_ubatch_done(inst, cohort),
+            Event::MigrationDone { req, epoch } => self.on_migration_done(req, epoch),
+            Event::Sample => self.on_sample(),
+            Event::ClusterChange(i) => self.on_cluster_change(i),
+            Event::DrainDeadline(dev) => self.on_drain_deadline(dev),
+            Event::TelemetryTick => self.on_telemetry_tick(),
+        }
+        true
+    }
+
+    /// Publishes one flow event on the telemetry bus; a no-op when
+    /// telemetry is disabled. The event kind is a `Copy` struct built on
+    /// the caller's stack — the disabled path constructs and discards it
+    /// without touching the heap.
+    #[inline]
+    fn tap(&mut self, kind: FlowEventKind) {
+        if let Some(bus) = self.telemetry.as_mut() {
+            bus.publish(FlowEvent {
+                time: self.clock.now().as_secs(),
+                kind,
+            });
+        }
+    }
+
+    /// Live telemetry query handle: a point-in-time snapshot of the
+    /// bus's aggregates (`None` when telemetry is disabled).
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.telemetry
+            .as_ref()
+            .map(|bus| bus.snapshot(self.clock.now().as_secs()))
+    }
+
+    /// Periodic telemetry sample: per-instance queue depth / running
+    /// count and cluster-wide KV occupancy, rescheduled while anything
+    /// remains to happen (the same liveness guard as [`Self::on_sample`]).
+    fn on_telemetry_tick(&mut self) {
+        let now = self.clock.now().as_secs();
+        let depths: Vec<(u32, u32, u32)> = self
+            .instances
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.waiting.len() as u32, s.running as u32))
+            .collect();
+        let mut used = 0u64;
+        let mut pool = 0u64;
+        for d in 0..self.kv.len() {
+            let kv = self.kv.device(DeviceId(d as u32));
+            used += kv.used_bytes();
+            pool += kv.pool_bytes();
+        }
+        let bus = self.telemetry.as_mut().expect("tick only fires enabled");
+        for (instance, waiting, running) in depths {
+            bus.publish(FlowEvent {
+                time: now,
+                kind: FlowEventKind::QueueDepth {
+                    instance,
+                    waiting,
+                    running,
+                },
+            });
+        }
+        bus.publish(FlowEvent {
+            time: now,
+            kind: FlowEventKind::KvOccupancy {
+                used_bytes: used,
+                pool_bytes: pool,
+            },
+        });
+        if self.work_remains() {
+            let period = self
+                .cfg
+                .telemetry
+                .as_ref()
+                .expect("tick only fires enabled")
+                .sample_period;
+            self.events
+                .schedule(self.clock.now() + period, Event::TelemetryTick);
+            self.sampling_pending += 1;
         }
     }
 
     /// Records the cluster-wide reserved-KV high-water mark. Called from
     /// the paths that *allocate* KV (admission, reservation growth,
-    /// decode appends, re-dispatch grows) — frees can only lower usage,
-    /// so sampling after allocations captures the true peak without
-    /// paying an O(#devices) sweep on every event of the hot loop.
+    /// decode appends, re-dispatch grows) and — because decode batches
+    /// sample their appends once at the end, after victim evictions may
+    /// already have freed memory — also at the top of every *release*
+    /// path (eviction, churn eviction, completion) while the departing
+    /// KV is still resident. Without the release-site samples a
+    /// free-then-grow interleaving inside one batch could hide the true
+    /// peak. Frees can only lower usage, so these two families of call
+    /// sites bound the peak exactly without an O(#devices) sweep on
+    /// every event of the hot loop.
     fn note_kv_peak(&mut self) {
         let used: u64 = (0..self.kv.len())
             .map(|d| self.kv.device(DeviceId(d as u32)).used_bytes())
@@ -482,7 +602,19 @@ impl<'a, P: Policy> Engine<'a, P> {
     }
 
     /// Consumes the engine into its report.
-    pub fn into_report(self) -> RunReport {
+    pub fn into_report(mut self) -> RunReport {
+        // Final telemetry state: flush sinks, take the end-of-run
+        // snapshot, and surface the ring-wrap drop counter. Both fields
+        // are `None`/0 when telemetry is disabled and neither is folded
+        // into the digest (the `events_processed` convention).
+        let now = self.clock.now().as_secs();
+        let (telemetry_dropped, telemetry) = match self.telemetry.take() {
+            Some(mut bus) => {
+                bus.flush();
+                (bus.dropped(), Some(bus.snapshot(now)))
+            }
+            None => (0, None),
+        };
         let mut used: Vec<DeviceId> = self
             .topo
             .instances
@@ -521,6 +653,8 @@ impl<'a, P: Policy> Engine<'a, P> {
             fused_iterations: self.fused_iterations,
             kv_growths: self.kv_growths,
             kv_grow_failures: self.kv_grow_failures,
+            telemetry_dropped,
+            telemetry,
         }
     }
 
@@ -533,6 +667,12 @@ impl<'a, P: Policy> Engine<'a, P> {
         let inst = self.route_surviving(req, 0);
         self.requests.insert(req.id, RunningRequest::new(req, inst));
         self.instances[inst].waiting.enqueue(slack_key(&req));
+        self.tap(FlowEventKind::Arrival {
+            req: req.id,
+            class: req.class,
+            tenant: req.tenant,
+            instance: inst as u32,
+        });
         self.try_dispatch(inst);
     }
 
@@ -575,17 +715,33 @@ impl<'a, P: Policy> Engine<'a, P> {
                 evicted_any = true;
                 continue;
             }
+            let prior = r.prefilled;
             r.prefilled += chunk;
-            if r.prefilled < r.effective_input {
+            let mid_prefill = r.prefilled < r.effective_input;
+            self.tap(FlowEventKind::PrefillChunk {
+                req: rid,
+                instance: inst as u32,
+                chunk_tokens: chunk,
+                prior_tokens: prior,
+            });
+            if mid_prefill {
                 // Mid-chunked-prefill: the request stays in the
                 // cohort's prefilling set; its next chunk forms in
                 // a later iteration (alternating with decode, or fused
                 // alongside it).
                 continue;
             }
+            let r = self.requests.get_mut(&rid).expect("live request");
             r.push_token(now);
             let complete = r.is_complete();
+            let first_token = r.token_times.len() == 1;
             self.remove_prefilling(inst, rid);
+            if first_token {
+                self.tap(FlowEventKind::FirstToken {
+                    req: rid,
+                    instance: inst as u32,
+                });
+            }
             if complete {
                 self.finish(rid);
                 continue;
@@ -656,13 +812,23 @@ impl<'a, P: Policy> Engine<'a, P> {
             .collect();
         self.trace_samples.push(TraceSample { time: now, devices });
         // Keep sampling while anything remains to happen.
-        let active = self.requests.values().any(|r| r.phase != Phase::Done);
-        if active || !self.events.is_empty() {
+        if self.work_remains() {
             self.events.schedule(
                 self.clock.now() + self.cfg.trace_sample_period,
                 Event::Sample,
             );
+            self.sampling_pending += 1;
         }
+    }
+
+    /// True while anything beyond pure sampling remains to happen: a
+    /// live request, or a queued event that is not itself a sampler.
+    /// `Sample` and `TelemetryTick` both reschedule under this guard;
+    /// counting them out keeps the two chains from treating each other
+    /// as pending work and ticking on until the drain deadline.
+    fn work_remains(&self) -> bool {
+        self.requests.values().any(|r| r.phase != Phase::Done)
+            || self.events.len() > self.sampling_pending as usize
     }
 
     // ------------------------------------------------------------- churn
@@ -928,6 +1094,14 @@ impl<'a, P: Policy> Engine<'a, P> {
             (lost, r.instance, was_running)
         };
         self.load_table_remove(old_inst, rid);
+        // Release boundary: observe the peak while the victim's KV is
+        // still resident (see `note_kv_peak`).
+        self.note_kv_peak();
+        self.tap(FlowEventKind::Preemption {
+            req: rid,
+            instance: old_inst as u32,
+            lost_context: lost as u32,
+        });
         self.requests
             .get_mut(&rid)
             .expect("live")
@@ -1354,6 +1528,11 @@ impl<'a, P: Policy> Engine<'a, P> {
             entries.push((rid, chunk, 0));
             self.instances[inst].cohorts[cohort].prefilling.push(rid);
             self.running_inc(inst);
+            self.tap(FlowEventKind::Admission {
+                req: rid,
+                instance: inst as u32,
+                first_chunk_tokens: chunk as u32,
+            });
         }
         entries
     }
@@ -1621,6 +1800,12 @@ impl<'a, P: Policy> Engine<'a, P> {
             attn: max_attn * n_stages as f64,
         });
 
+        self.tap(FlowEventKind::DecodeIteration {
+            instance: inst as u32,
+            cohort: cohort as u32,
+            batch_size: batch.len() as u32,
+            prefill_tokens: 0,
+        });
         self.instances[inst].cohorts[cohort].in_flight = Some(Ubatch {
             reqs: Vec::new(),
             chunks: Vec::new(),
@@ -1724,6 +1909,12 @@ impl<'a, P: Policy> Engine<'a, P> {
             attn: max_attn * n_stages as f64,
         });
 
+        self.tap(FlowEventKind::DecodeIteration {
+            instance: inst as u32,
+            cohort: cohort as u32,
+            batch_size: decode_batch.len() as u32,
+            prefill_tokens: batch.tokens as u32,
+        });
         self.instances[inst].cohorts[cohort].in_flight = Some(Ubatch {
             reqs: entries.iter().map(|&(rid, ..)| rid).collect(),
             chunks: entries.iter().map(|&(_, c, _)| c as u32).collect(),
@@ -1980,6 +2171,18 @@ impl<'a, P: Policy> Engine<'a, P> {
             r.instance
         };
         self.load_table_remove(inst, rid);
+        // Release boundary: observe the peak while the victim's KV is
+        // still resident (see `note_kv_peak`).
+        self.note_kv_peak();
+        let lost = {
+            let r = &self.requests[&rid];
+            r.req.input_len + r.generated
+        };
+        self.tap(FlowEventKind::Preemption {
+            req: rid,
+            instance: inst as u32,
+            lost_context: lost,
+        });
         self.requests
             .get_mut(&rid)
             .expect("live")
@@ -2109,6 +2312,10 @@ impl<'a, P: Policy> Engine<'a, P> {
         let epoch = r.migration_epoch;
         self.migrations += 1;
         self.migrated_bytes += moved_bytes;
+        self.tap(FlowEventKind::Redispatch {
+            req: rid,
+            instance: inst as u32,
+        });
         self.events.schedule(
             SimTime::from_secs(finish.max(now)),
             Event::MigrationDone { req: rid, epoch },
@@ -2291,6 +2498,18 @@ impl<'a, P: Policy> Engine<'a, P> {
     fn finish(&mut self, rid: RequestId) {
         let inst = self.requests[&rid].instance;
         self.load_table_remove(inst, rid);
+        // Release boundary: observe the peak while the finished
+        // request's KV is still resident (see `note_kv_peak`).
+        self.note_kv_peak();
+        // The flow record wants the resident KV footprint, which is gone
+        // after the frees below — sum it first (enabled runs only).
+        let kv_bytes = if self.telemetry.is_some() {
+            (0..self.kv.len())
+                .map(|d| self.kv.device(DeviceId(d as u32)).request_bytes(rid))
+                .sum()
+        } else {
+            0
+        };
         for d in 0..self.kv.len() {
             self.kv.device_mut(DeviceId(d as u32)).free_request(rid);
         }
@@ -2309,6 +2528,22 @@ impl<'a, P: Policy> Engine<'a, P> {
             class: r.req.class,
             tenant: r.req.tenant,
         };
+        if let Some(bus) = self.telemetry.as_mut() {
+            bus.complete(&FlowCompletion {
+                req: rid,
+                class: rec.class,
+                tenant: rec.tenant,
+                instance: inst as u32,
+                arrival: rec.arrival,
+                first_token: rec.first_token,
+                completion: rec.completion,
+                input_len: rec.input_len,
+                output_len: rec.output_len,
+                preemptions: rec.preemptions,
+                redispatches: rec.redispatches,
+                kv_bytes,
+            });
+        }
         self.completed.push(rec);
         self.running_dec(inst);
         self.remove_cohort_member(inst, rid);

@@ -189,6 +189,15 @@ pub struct RunReport {
     /// Not digested (the eviction itself is visible in the digested
     /// per-request preemption counts).
     pub kv_grow_failures: u64,
+    /// Telemetry events overwritten on ring wrap (0 when telemetry is
+    /// disabled or the ring never filled). An observability-mechanics
+    /// counter, not digested (same policy as `events_processed`).
+    pub telemetry_dropped: u64,
+    /// End-of-run telemetry snapshot (`None` when telemetry is
+    /// disabled). Not digested: the digest pins serving behavior, and
+    /// the snapshot is derived from the same completions it already
+    /// folds.
+    pub telemetry: Option<hetis_telemetry::TelemetrySnapshot>,
 }
 
 impl RunReport {
@@ -473,6 +482,8 @@ mod tests {
             fused_iterations: 0,
             kv_growths: 0,
             kv_grow_failures: 0,
+            telemetry_dropped: 0,
+            telemetry: None,
         }
     }
 

@@ -313,6 +313,13 @@ fn long_prompt_peak_kv_drops_under_incremental_growth() {
         grown.peak_kv_reserved_bytes,
         atomic.peak_kv_reserved_bytes
     );
+    // Regression pin for the peak itself (≈155.5 GB). `note_kv_peak` now
+    // also samples at the top of the release paths (eviction, churn
+    // eviction, completion) while the departing KV is still resident, so
+    // a free-then-grow interleaving inside one decode batch can no
+    // longer hide the true maximum. Any scheduler or allocator change
+    // that moves this number must update the pin deliberately.
+    assert_eq!(grown.peak_kv_reserved_bytes, 155_516_928_000);
 }
 
 /// A prompt whose full KV can never fit its placement must stay queued

@@ -1,0 +1,205 @@
+//! Dependency-free JSON line validation.
+//!
+//! The workspace builds offline with no serde, so the JSONL sink's
+//! consumers (CI smoke, examples, tests) validate exported lines with
+//! this minimal recursive-descent checker instead of a full parser. It
+//! accepts exactly the RFC 8259 grammar (strings, numbers, objects,
+//! arrays, literals) and rejects trailing garbage.
+
+/// Validates that `line` is one complete JSON value. Returns the byte
+/// offset and reason of the first violation otherwise.
+pub fn validate_json_line(line: &str) -> Result<(), String> {
+    let b = line.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    pos = value(b, pos)?;
+    pos = skip_ws(b, pos);
+    if pos != b.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(())
+}
+
+fn err(pos: usize, what: &str) -> String {
+    format!("{what} at offset {pos}")
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+fn value(b: &[u8], pos: usize) -> Result<usize, String> {
+    match b.get(pos) {
+        None => Err(err(pos, "unexpected end of input")),
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => number(b, pos),
+        Some(c) => Err(err(pos, &format!("unexpected byte {:?}", *c as char))),
+    }
+}
+
+fn literal(b: &[u8], pos: usize, lit: &str) -> Result<usize, String> {
+    if b[pos..].starts_with(lit.as_bytes()) {
+        Ok(pos + lit.len())
+    } else {
+        Err(err(pos, &format!("malformed literal (expected {lit})")))
+    }
+}
+
+fn string(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos += 1; // opening quote
+    while let Some(&c) = b.get(pos) {
+        match c {
+            b'"' => return Ok(pos + 1),
+            b'\\' => {
+                let esc = b.get(pos + 1).ok_or_else(|| err(pos, "dangling escape"))?;
+                match esc {
+                    b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => pos += 2,
+                    b'u' => {
+                        let hex = b
+                            .get(pos + 2..pos + 6)
+                            .ok_or_else(|| err(pos, "truncated \\u escape"))?;
+                        if !hex.iter().all(|h| h.is_ascii_hexdigit()) {
+                            return Err(err(pos, "non-hex \\u escape"));
+                        }
+                        pos += 6;
+                    }
+                    _ => return Err(err(pos, "invalid escape")),
+                }
+            }
+            0x00..=0x1F => return Err(err(pos, "unescaped control character")),
+            _ => pos += 1,
+        }
+    }
+    Err(err(pos, "unterminated string"))
+}
+
+fn number(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    let start = pos;
+    if b.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    let int_digits = digits(b, pos);
+    if int_digits == 0 {
+        return Err(err(pos, "number without digits"));
+    }
+    if b[pos] == b'0' && int_digits > 1 {
+        return Err(err(start, "leading zero"));
+    }
+    pos += int_digits;
+    if b.get(pos) == Some(&b'.') {
+        pos += 1;
+        let frac = digits(b, pos);
+        if frac == 0 {
+            return Err(err(pos, "decimal point without digits"));
+        }
+        pos += frac;
+    }
+    if matches!(b.get(pos), Some(b'e') | Some(b'E')) {
+        pos += 1;
+        if matches!(b.get(pos), Some(b'+') | Some(b'-')) {
+            pos += 1;
+        }
+        let exp = digits(b, pos);
+        if exp == 0 {
+            return Err(err(pos, "exponent without digits"));
+        }
+        pos += exp;
+    }
+    Ok(pos)
+}
+
+fn digits(b: &[u8], pos: usize) -> usize {
+    b[pos..].iter().take_while(|c| c.is_ascii_digit()).count()
+}
+
+fn object(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b'}') {
+        return Ok(pos + 1);
+    }
+    loop {
+        if b.get(pos) != Some(&b'"') {
+            return Err(err(pos, "expected object key"));
+        }
+        pos = string(b, pos)?;
+        pos = skip_ws(b, pos);
+        if b.get(pos) != Some(&b':') {
+            return Err(err(pos, "expected ':'"));
+        }
+        pos = value(b, skip_ws(b, pos + 1))?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b'}') => return Ok(pos + 1),
+            _ => return Err(err(pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+fn array(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b']') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b']') => return Ok(pos + 1),
+            _ => return Err(err(pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_lines() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e-3",
+            "0",
+            r#""a \"quoted\" string with é""#,
+            r#"{"a":1,"b":[true,false,null],"c":{"d":"e"},"f":-0.25}"#,
+            r#"  { "spaced" : [ 1 , 2 ] }  "#,
+        ] {
+            validate_json_line(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_lines() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1,]",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "\"unterminated",
+            "\"bad\\escape\"",
+            "{} trailing",
+            "NaN",
+            "inf",
+        ] {
+            assert!(validate_json_line(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

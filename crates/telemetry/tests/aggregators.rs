@@ -1,0 +1,106 @@
+//! Streaming-aggregator coverage (ISSUE 6 satellite): the sliding-window
+//! percentiles must agree with the batch `hetis_sim::percentile` on a
+//! full-run window, and the event ring must wrap correctly at the
+//! degenerate capacity 1 and at arbitrary N.
+
+use hetis_sim::percentile;
+use hetis_telemetry::{EventRing, FlowEvent, FlowEventKind, SlidingWindow};
+use proptest::prelude::*;
+
+fn depth_event(time: f64, waiting: u32) -> FlowEvent {
+    FlowEvent {
+        time,
+        kind: FlowEventKind::QueueDepth {
+            instance: 0,
+            waiting,
+            running: 0,
+        },
+    }
+}
+
+proptest! {
+    /// A full-run window retains every sample, so its p50/p95/p99 must
+    /// equal the batch percentile over the same values — not merely
+    /// close: the window calls the same function on the same multiset.
+    #[test]
+    fn full_run_window_p99_equals_batch_percentile(
+        samples in collection::vec((0.0f64..1000.0, 0.0f64..10.0), 1..300),
+        buckets in 1usize..32,
+    ) {
+        let mut window = SlidingWindow::new(f64::INFINITY, buckets);
+        let mut times: Vec<f64> = samples.iter().map(|&(t, _)| t).collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let values: Vec<f64> = samples.iter().map(|&(_, v)| v).collect();
+        // Push in time order (the engine's event loop guarantees it).
+        let mut ordered: Vec<(f64, f64)> = samples.clone();
+        ordered.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for &(t, v) in &ordered {
+            window.push(t, v);
+        }
+        let now = times.last().copied().unwrap_or(0.0) + 1.0;
+        let s = window.summary(now);
+        prop_assert_eq!(s.count, values.len());
+        // Window samples are a permutation of the inputs; percentile
+        // sorts, so results are bit-identical.
+        for (got, p) in [(s.p50, 50.0), (s.p95, 95.0), (s.p99, 99.0)] {
+            let want = percentile(&values, p).unwrap();
+            prop_assert!(
+                got == want,
+                "p{} mismatch: streaming {} vs batch {}",
+                p, got, want
+            );
+        }
+    }
+
+    /// Ring wrap at arbitrary capacity N: drop accounting and retained
+    /// suffix must be exact.
+    #[test]
+    fn ring_wraps_exactly_at_capacity_n(
+        capacity in 1usize..50,
+        pushes in 0usize..200,
+    ) {
+        let mut ring = EventRing::new(capacity);
+        for i in 0..pushes {
+            ring.push(depth_event(i as f64, i as u32));
+        }
+        prop_assert_eq!(ring.len(), pushes.min(capacity));
+        prop_assert_eq!(ring.pushed(), pushes as u64);
+        prop_assert_eq!(ring.dropped(), pushes.saturating_sub(capacity) as u64);
+        // The retained events are exactly the newest `min(pushes, cap)`,
+        // oldest first.
+        let times: Vec<f64> = ring.iter().map(|e| e.time).collect();
+        let expect: Vec<f64> = (pushes.saturating_sub(capacity)..pushes)
+            .map(|i| i as f64)
+            .collect();
+        prop_assert_eq!(times, expect);
+    }
+}
+
+#[test]
+fn ring_capacity_one_keeps_only_latest() {
+    let mut ring = EventRing::new(1);
+    assert!(ring.latest().is_none());
+    ring.push(depth_event(0.0, 0));
+    assert_eq!((ring.len(), ring.dropped()), (1, 0));
+    for i in 1..=7 {
+        ring.push(depth_event(i as f64, i));
+    }
+    assert_eq!((ring.len(), ring.pushed(), ring.dropped()), (1, 8, 7));
+    assert_eq!(ring.latest().unwrap().time, 7.0);
+    assert_eq!(ring.iter().count(), 1);
+}
+
+#[test]
+fn finite_window_drops_expired_samples_from_percentiles() {
+    // 20 s window, 4 buckets: samples older than the window must stop
+    // influencing the percentiles while fresh ones remain.
+    let mut w = SlidingWindow::new(20.0, 4);
+    for i in 0..100 {
+        w.push(i as f64 * 0.1, 100.0); // all inside [0, 10): epochs 0-1
+    }
+    w.push(30.0, 1.0); // epoch 6
+    w.push(31.0, 3.0);
+    let s = w.summary(31.0);
+    assert_eq!(s.count, 2, "early burst expired");
+    assert_eq!(s.p50, percentile(&[1.0, 3.0], 50.0).unwrap());
+}

@@ -104,6 +104,13 @@ impl SloClass {
         }
     }
 
+    /// Inverse of [`Self::index`], for consumers that key compact tables
+    /// by the stable index (e.g. telemetry snapshots). `None` for indices
+    /// no class owns.
+    pub fn from_index(index: u8) -> Option<SloClass> {
+        SloClass::ALL.into_iter().find(|c| c.index() == index)
+    }
+
     /// Short lowercase name for reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -216,6 +223,15 @@ mod tests {
         assert!(i.tpot < b.tpot);
         assert!(SloClass::BestEffort.target().ttft.is_infinite());
         assert_eq!(SloClass::default(), SloClass::BestEffort);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for c in SloClass::ALL {
+            assert_eq!(SloClass::from_index(c.index()), Some(c));
+        }
+        assert_eq!(SloClass::from_index(3), None);
+        assert_eq!(SloClass::from_index(u8::MAX), None);
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub use hetis_lp as lp;
 pub use hetis_model as model;
 pub use hetis_parallel as parallel;
 pub use hetis_sim as sim;
+pub use hetis_telemetry as telemetry;
 pub use hetis_workload as workload;
 
 /// Commonly used items for examples and integration tests.
