@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Scenario behavior gate: digest pinning + bench-regression smoke.
 #
-# Runs scenario_slo_mix and scenario_elastic_churn under BOTH dispatch
-# solver modes and fails when
+# Runs scenario_slo_mix, scenario_elastic_churn, scenario_closed_loop,
+# and the fig8 quick sweep under BOTH dispatch solver modes and fails
+# when
 #   1. any per-system behavior digest drifts from ci/pinned_digests.tsv
 #      (re-pin in the same PR with a justification line when an engine
 #      change legitimately moves behavior), or
@@ -21,7 +22,7 @@ outdir="${SCENARIO_GATE_OUT:-target/scenario-gate}"
 mkdir -p "$outdir"
 
 for solver in waterfill simplex; do
-  for bench in scenario_slo_mix scenario_elastic_churn; do
+  for bench in scenario_slo_mix scenario_elastic_churn scenario_closed_loop fig8_e2e_llama13b; do
     echo "== $bench (HETIS_DISPATCH_SOLVER=$solver)"
     HETIS_DISPATCH_SOLVER=$solver cargo bench --bench "$bench" \
       > "$outdir/$bench.$solver.out"
@@ -37,12 +38,20 @@ fail=0
 # that its digest equals the telemetry-off one — any tap that perturbs
 # the simulation therefore fails both the bench's own assert and, if it
 # leaks into the disabled path, these pins, in both solver modes.
+# scenario_closed_loop extends the same contract to the control loop: its
+# chunked-alternating and open-loop pins REUSE the slo_mix chunked+priority
+# and fused+priority digests (elastic wrapper + attached bus + closed_loop
+# off must be bit-neutral), and its closed-loop pin freezes the actuation
+# sequence itself. The fig8 pins fold every quick-sweep cell digest per
+# system, so the whole end-to-end grid is covered by three rows per solver.
 actual="$outdir/digests.tsv"
 : > "$actual"
 for solver in waterfill simplex; do
   grep -h "behavior-digest" \
     "$outdir/scenario_slo_mix.$solver.out" \
     "$outdir/scenario_elastic_churn.$solver.out" \
+    "$outdir/scenario_closed_loop.$solver.out" \
+    "$outdir/fig8_e2e_llama13b.$solver.out" \
     | awk -v s="$solver" -F'\t' '{ print s "\t" $1 "\t" $3 "\t" $4 }' \
     >> "$actual"
 done
@@ -63,6 +72,7 @@ while IFS=$'\t' read -r scenario system floor; do
   case "$scenario" in
     slo_mix) out="$outdir/scenario_slo_mix.waterfill.out" ;;
     elastic_storm) out="$outdir/scenario_elastic_churn.waterfill.out" ;;
+    closed_loop) out="$outdir/scenario_closed_loop.waterfill.out" ;;
     *) echo "unknown scenario '$scenario' in floors file" >&2; fail=1; continue ;;
   esac
   got=$(awk -F'\t' -v sys="$system" \

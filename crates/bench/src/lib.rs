@@ -135,7 +135,7 @@ pub fn run_system(
     match system {
         System::Hetis => run(
             HetisPolicy::new(
-                HetisConfig::default(),
+                bench_hetis_config(),
                 bench_profile_for(dataset, cluster, model),
             ),
             cluster,
@@ -155,7 +155,10 @@ pub fn tsv_header(cols: &[&str]) {
 
 /// Shared driver for the end-to-end figures (Figs. 8/9/10): sweeps
 /// request rate × dataset × system for one model and prints mean
-/// normalized latency (s/token) plus completion counts.
+/// normalized latency (s/token) plus completion counts, then one
+/// behavior-digest row per system — every cell's `RunReport::digest`
+/// folded (FNV-1a, grid order) into a single pinnable word, so a CI pin
+/// on three rows covers the whole sweep.
 pub fn run_e2e_figure(figure: &str, model: &ModelSpec, grids: &[(DatasetKind, &[f64])]) {
     let scale = Scale::from_env();
     let cluster = hetis_cluster::cluster::paper_cluster();
@@ -170,11 +173,21 @@ pub fn run_e2e_figure(figure: &str, model: &ModelSpec, grids: &[(DatasetKind, &[
         "completed",
         "issued",
     ]);
+    let mut digests: Vec<(System, u64)> = System::ALL
+        .iter()
+        .map(|&s| (s, 0xcbf2_9ce4_8422_2325u64))
+        .collect();
     for &(dataset, rates) in grids {
         for &rate in rates {
             let trace = bench_trace(dataset, rate, scale.horizon());
             for system in System::ALL {
                 let report = run_system(system, &cluster, model, dataset, &trace);
+                let d = digests
+                    .iter_mut()
+                    .find(|(s, _)| *s == system)
+                    .expect("system registered");
+                d.1 ^= report.digest();
+                d.1 = d.1.wrapping_mul(0x1000_0000_01b3);
                 println!(
                     "{figure}\t{}\t{rate}\t{}\t{}\t{}\t{}\t{}\t{}",
                     dataset.abbrev(),
@@ -187,6 +200,18 @@ pub fn run_e2e_figure(figure: &str, model: &ModelSpec, grids: &[(DatasetKind, &[
                 );
             }
         }
+    }
+    // Digest rows carry the scale tag: quick and full horizons cover
+    // different traces, so their pins are distinct rows.
+    let tag = match scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
+    for (system, digest) in digests {
+        println!(
+            "{figure}_e2e\tbehavior-digest\t{}-{tag}\t{digest:016x}",
+            system.name()
+        );
     }
 }
 

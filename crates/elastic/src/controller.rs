@@ -41,6 +41,11 @@ pub struct ElasticConfig {
     pub rerun_search: bool,
     /// Plan drain migrations on preemption notices.
     pub drain_on_notice: bool,
+    /// Telemetry snapshots retained by [`ElasticController::observe`]:
+    /// a fixed-capacity ring mirroring the telemetry `EventRing` —
+    /// observing past capacity overwrites the oldest snapshot and counts
+    /// a drop instead of growing without bound.
+    pub observation_capacity: usize,
 }
 
 impl Default for ElasticConfig {
@@ -50,7 +55,49 @@ impl Default for ElasticConfig {
             replan_per_candidate_s: 0.002,
             rerun_search: true,
             drain_on_notice: true,
+            observation_capacity: 256,
         }
+    }
+}
+
+/// Fixed-capacity ring of telemetry snapshots with drop accounting —
+/// the same overwrite-oldest contract as the telemetry `EventRing`, so
+/// a long run cannot grow the controller's memory without bound.
+#[derive(Debug, Clone)]
+struct ObservationRing {
+    buf: Vec<TelemetrySnapshot>,
+    /// Index of the oldest element once the ring is full (0 before).
+    head: usize,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl ObservationRing {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "observation ring needs capacity >= 1");
+        ObservationRing {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, snap: TelemetrySnapshot) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(snap);
+        } else {
+            self.buf[self.head] = snap;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Buffered snapshots, oldest first.
+    fn iter(&self) -> impl Iterator<Item = &TelemetrySnapshot> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
     }
 }
 
@@ -103,44 +150,54 @@ pub struct ElasticController {
     hetis: HetisConfig,
     profile: WorkloadProfile,
     cfg: ElasticConfig,
-    /// Telemetry snapshots fed in via [`Self::observe`], newest last.
-    observations: Vec<TelemetrySnapshot>,
+    /// Telemetry snapshots fed in via [`Self::observe`]: a bounded ring
+    /// (capacity [`ElasticConfig::observation_capacity`]), newest last.
+    observations: ObservationRing,
 }
 
 impl ElasticController {
     /// A controller planning for `profile` with the paper's defaults.
     pub fn new(hetis: HetisConfig, profile: WorkloadProfile) -> Self {
+        let cfg = ElasticConfig::default();
         ElasticController {
             hetis,
             profile,
-            cfg: ElasticConfig::default(),
-            observations: Vec::new(),
+            observations: ObservationRing::new(cfg.observation_capacity),
+            cfg,
         }
     }
 
-    /// Overrides the elastic tunables.
+    /// Overrides the elastic tunables (builder style: re-sizes the
+    /// observation ring, discarding anything already observed).
     pub fn with_config(mut self, cfg: ElasticConfig) -> Self {
+        self.observations = ObservationRing::new(cfg.observation_capacity);
         self.cfg = cfg;
         self
     }
 
     /// Feeds a live telemetry snapshot (queue depths, streaming
-    /// per-class percentiles, KV occupancy) into the controller. The
-    /// snapshots are retained as the signal stream a demand-driven
-    /// scaling decision would consume — churn replans today are purely
-    /// event-triggered, so observations inform diagnostics (see
-    /// [`Self::max_observed_queue_depth`]) rather than gate
-    /// [`Self::replan`].
+    /// per-class percentiles, KV occupancy) into the controller's
+    /// bounded ring — past capacity the oldest snapshot is overwritten
+    /// and counted in [`Self::observations_dropped`]. The retained
+    /// stream feeds diagnostics ([`Self::max_observed_queue_depth`]);
+    /// the *closed-loop* consumer is [`crate::ClosedLoopController`],
+    /// which watches each snapshot as it arrives.
     pub fn observe(&mut self, snapshot: &TelemetrySnapshot) {
         self.observations.push(snapshot.clone());
     }
 
-    /// Every snapshot fed via [`Self::observe`], oldest first.
-    pub fn observations(&self) -> &[TelemetrySnapshot] {
-        &self.observations
+    /// Snapshots currently retained (oldest first, at most
+    /// [`ElasticConfig::observation_capacity`]).
+    pub fn observations(&self) -> Vec<&TelemetrySnapshot> {
+        self.observations.iter().collect()
     }
 
-    /// Largest admission-queue depth seen across all observed snapshots
+    /// Snapshots overwritten because the observation ring was full.
+    pub fn observations_dropped(&self) -> u64 {
+        self.observations.dropped
+    }
+
+    /// Largest admission-queue depth seen across the retained snapshots
     /// — the simplest scale-up pressure signal.
     pub fn max_observed_queue_depth(&self) -> u32 {
         self.observations
@@ -234,6 +291,71 @@ impl ElasticController {
         }
         out
     }
+
+    /// Plans a load-driven capacity change for the closed loop (no churn
+    /// event involved). Scale-out rebuilds the attention-worker pool
+    /// from every accepting non-primary device — reclaiming idle
+    /// silicon exactly like a churn replan; scale-in retires the
+    /// highest-id worker of the instance with the largest pool. Returns
+    /// `None` when the change would be a no-op (already at full pool /
+    /// no worker left to retire), so the caller can skip the replan
+    /// stall entirely. Latency is `replan_base_s` only: no search is
+    /// re-run for a pool resize.
+    pub fn scale_plan(
+        &self,
+        scale_out: bool,
+        health: &HealthView,
+        ctx: &PolicyCtx<'_>,
+    ) -> Option<ReplanPlan> {
+        let topology = if scale_out {
+            rebuild_workers(ctx.topology, health)
+        } else {
+            shrink_workers(ctx.topology)?
+        };
+        let diff = diff_topologies(ctx.topology, &topology);
+        if diff.workers_added.is_empty() && diff.workers_removed.is_empty() {
+            return None;
+        }
+        Some(ReplanPlan {
+            topology,
+            diff,
+            ideal_topology: None,
+            searched_candidates: 0,
+            replan_latency: self.cfg.replan_base_s,
+            migrations: Vec::new(),
+        })
+    }
+}
+
+/// Retires one attention worker: the highest-id device of the serving
+/// instance with the most first-stage workers (lowest instance index on
+/// ties). `None` when no serving instance has any worker left —
+/// scale-in never touches primaries.
+fn shrink_workers(current: &Topology) -> Option<Topology> {
+    let mut topo = current.clone();
+    let (k, n) = topo
+        .instances
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| i.role != InstanceRole::Down)
+        .map(|(k, i)| {
+            (
+                k,
+                i.stages
+                    .first()
+                    .map(|s| s.attention_workers.len())
+                    .unwrap_or(0),
+            )
+        })
+        .max_by_key(|&(k, n)| (n, std::cmp::Reverse(k)))?;
+    if n == 0 {
+        return None;
+    }
+    let victim = *topo.instances[k].stages[0].attention_workers.iter().max()?;
+    for s in topo.instances[k].stages.iter_mut() {
+        s.attention_workers.retain(|&d| d != victim);
+    }
+    Some(topo)
 }
 
 /// Rebuilds the shared attention-worker pool of every serving instance
@@ -537,6 +659,107 @@ mod tests {
         }
         assert_eq!(ctl.observations().len(), 3);
         assert_eq!(ctl.max_observed_queue_depth(), 9);
+        assert_eq!(ctl.observations_dropped(), 0);
+    }
+
+    #[test]
+    fn observation_ring_is_bounded_and_counts_drops() {
+        use hetis_core::WorkloadProfile;
+        use hetis_workload::DatasetKind;
+        let mut ctl = ElasticController::new(
+            HetisConfig::default(),
+            WorkloadProfile::from_dataset(DatasetKind::ShareGpt, 8),
+        )
+        .with_config(ElasticConfig {
+            observation_capacity: 4,
+            ..ElasticConfig::default()
+        });
+        let mk = |t: f64| TelemetrySnapshot {
+            now: t,
+            window_secs: f64::INFINITY,
+            events_published: 1,
+            events_buffered: 1,
+            dropped: 0,
+            completions: 0,
+            open_flows: 0,
+            classes: vec![],
+            queue_depths: vec![],
+            kv: None,
+        };
+        for t in 0..10 {
+            ctl.observe(&mk(t as f64));
+        }
+        assert_eq!(ctl.observations().len(), 4, "capacity bounds retention");
+        assert_eq!(ctl.observations_dropped(), 6);
+        // Oldest-first iteration: the survivors are the last four pushed.
+        let times: Vec<f64> = ctl.observations().iter().map(|s| s.now).collect();
+        assert_eq!(times, vec![6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn scale_plan_out_reclaims_and_in_retires() {
+        use hetis_core::WorkloadProfile;
+        use hetis_workload::DatasetKind;
+        let c = paper_cluster();
+        let model = hetis_model::llama_13b();
+        let ctl = ElasticController::new(
+            HetisConfig::default(),
+            WorkloadProfile::from_dataset(DatasetKind::ShareGpt, 8),
+        );
+        let kv =
+            hetis_engine::KvState::new(&c, &model, 16, &std::collections::HashMap::new()).unwrap();
+        let requests = std::collections::HashMap::new();
+        // Start from a topology whose worker pool is NOT full: the 3090s
+        // are unused.
+        let topo = two_instance_topo(&c);
+        let ctx = PolicyCtx {
+            cluster: &c,
+            model: &model,
+            now: 0.0,
+            kv: &kv,
+            requests: &requests,
+            topology: &topo,
+            prefill_chunk_tokens: None,
+        };
+        let view = HealthView::new(full_health(&c));
+        let plan = ctl
+            .scale_plan(true, &view, &ctx)
+            .expect("idle 3090s to reclaim");
+        assert!(!plan.diff.workers_added.is_empty());
+        assert_eq!(plan.searched_candidates, 0, "pool resize re-runs no search");
+        assert!(plan.migrations.is_empty());
+        assert!(plan.replan_latency > 0.0);
+
+        // Scale-out again from the full pool: a no-op, so no plan.
+        let full = plan.topology.clone();
+        let ctx_full = PolicyCtx {
+            topology: &full,
+            ..ctx
+        };
+        assert!(ctl.scale_plan(true, &view, &ctx_full).is_none());
+
+        // Scale-in retires exactly one worker (the highest id of the
+        // biggest pool) and never touches primaries.
+        let plan_in = ctl
+            .scale_plan(false, &view, &ctx_full)
+            .expect("workers to retire");
+        assert_eq!(plan_in.diff.workers_removed.len(), 1);
+        assert!(plan_in.diff.workers_added.is_empty());
+        let before: usize = full
+            .instances
+            .iter()
+            .map(|i| i.stages[0].attention_workers.len())
+            .sum();
+        let after: usize = plan_in
+            .topology
+            .instances
+            .iter()
+            .map(|i| i.stages[0].attention_workers.len())
+            .sum();
+        assert_eq!(after + 1, before);
+        for (o, n) in full.instances.iter().zip(&plan_in.topology.instances) {
+            assert_eq!(o.stages[0].primary.devices, n.stages[0].primary.devices);
+        }
     }
 
     #[test]

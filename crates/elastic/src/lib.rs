@@ -18,6 +18,13 @@
 //! * [`ElasticPolicy`] — wraps Hetis (or any baseline) behind the
 //!   engine's `on_cluster_change` hook; [`ElasticPolicy::frozen`] is the
 //!   no-replan ablation every scenario compares against.
+//! * [`ClosedLoopController`] — the telemetry feedback automaton: at
+//!   every telemetry tick it reads the bus's windowed per-class
+//!   percentiles/attainment and emits scale proposals (breach-for-N
+//!   with cooldown hysteresis), admission throttling, and chunk-pacing
+//!   actions, which `ElasticPolicy` routes into the engine through the
+//!   `on_telemetry_tick` hook. Open loop (`EngineConfig::closed_loop:
+//!   None`) is bit-identical to not having the subsystem at all.
 //! * [`ChurnScenario`] — trace + churn schedule generated together from
 //!   one seed, including the headline *preemption storm* (all devices of
 //!   one class revoked inside a window while the request rate spikes).
@@ -29,11 +36,13 @@
 //! for the end-to-end comparison.
 
 pub mod churn;
+pub mod closed_loop;
 pub mod controller;
 pub mod policy;
 pub mod scenario;
 
 pub use churn::{ChurnProcess, ClassRates};
+pub use closed_loop::ClosedLoopController;
 pub use controller::{ElasticConfig, ElasticController, ReplanPlan, TopologyDiff};
 pub use policy::{elastic_hetis, frozen_hetis, ElasticPolicy};
 pub use scenario::ChurnScenario;

@@ -14,14 +14,17 @@
 //!   or reclaimed. This is the "vLLM-style failover" every elastic
 //!   scenario compares against.
 
+use crate::closed_loop::ClosedLoopController;
 use crate::controller::ElasticController;
 use hetis_cluster::{Cluster, DeviceId};
 use hetis_core::{HetisConfig, HetisPolicy, WorkloadProfile};
 use hetis_engine::{
-    ClusterEvent, EngineConfig, Handoff, HeadPlacement, HealthView, Policy, PolicyCtx,
-    RedispatchOp, ReplanResponse, Topology, VictimAction,
+    ClosedLoopConfig, ClusterEvent, ControlAction, ControlResponse, EngineConfig, Handoff,
+    HeadPlacement, HealthView, Policy, PolicyCtx, RedispatchOp, ReplanResponse, Topology,
+    VictimAction,
 };
 use hetis_model::ModelSpec;
+use hetis_telemetry::TelemetrySnapshot;
 use hetis_workload::{Request, RequestId};
 
 /// A policy wrapper adding (or explicitly withholding) elasticity.
@@ -35,6 +38,16 @@ pub struct ElasticPolicy<P: Policy> {
     replans_seen: Vec<(String, usize)>,
     /// Drain re-dispatches planned across the run.
     drains_planned: usize,
+    /// Closed-loop automaton, constructed lazily from the engine's
+    /// `ClosedLoopConfig` on the first telemetry tick (stays `None` with
+    /// an open loop).
+    closed_loop: Option<ClosedLoopController>,
+    /// Attention workers added by *actuated* closed-loop scale-outs and
+    /// not yet returned. Scale-in proposals actuate only while this is
+    /// positive: the loop never shrinks the pool below its pre-loop
+    /// capacity (proposals whose plan came back `None` — nothing spare
+    /// to reclaim — add nothing here).
+    scaled_out_workers: usize,
 }
 
 impl<P: Policy> ElasticPolicy<P> {
@@ -46,6 +59,8 @@ impl<P: Policy> ElasticPolicy<P> {
             health: None,
             replans_seen: Vec::new(),
             drains_planned: 0,
+            closed_loop: None,
+            scaled_out_workers: 0,
         }
     }
 
@@ -57,6 +72,8 @@ impl<P: Policy> ElasticPolicy<P> {
             health: None,
             replans_seen: Vec::new(),
             drains_planned: 0,
+            closed_loop: None,
+            scaled_out_workers: 0,
         }
     }
 
@@ -78,6 +95,12 @@ impl<P: Policy> ElasticPolicy<P> {
     /// Drain re-dispatches planned across the run.
     pub fn drains_planned(&self) -> usize {
         self.drains_planned
+    }
+
+    /// The closed-loop automaton, once the first telemetry tick has
+    /// constructed it (`None` with an open loop).
+    pub fn closed_loop(&self) -> Option<&ClosedLoopController> {
+        self.closed_loop.as_ref()
     }
 }
 
@@ -169,6 +192,77 @@ impl<P: Policy> Policy for ElasticPolicy<P> {
             migrations: plan.migrations,
             replan_latency: plan.replan_latency,
         }
+    }
+
+    fn on_telemetry_tick(
+        &mut self,
+        snapshot: &TelemetrySnapshot,
+        closed_loop: &ClosedLoopConfig,
+        health: &HealthView,
+        ctx: &PolicyCtx<'_>,
+    ) -> ControlResponse {
+        // Feed the diagnostic stream (bounded ring) and run the automaton.
+        if let Some(controller) = &mut self.controller {
+            controller.observe(snapshot);
+        }
+        let automaton = self
+            .closed_loop
+            .get_or_insert_with(|| ClosedLoopController::new(closed_loop.clone()));
+        let actions = automaton.on_tick(snapshot);
+        if actions.is_empty() {
+            return ControlResponse::default();
+        }
+        let mut response = ControlResponse::default();
+        for &action in &actions {
+            match action {
+                ControlAction::ScaleOut { .. } | ControlAction::ScaleIn => {
+                    // Scale proposals route through the elastic
+                    // controller's replan path; a frozen policy records
+                    // the proposal (it lands in the control log) but has
+                    // no planner to actuate it. A no-op plan (already at
+                    // full pool / nothing to retire) skips the replan —
+                    // and its stall — entirely. Scale-ins actuate only
+                    // while earlier scale-outs actually grew the pool:
+                    // the loop never retires pre-loop capacity.
+                    if let Some(controller) = &self.controller {
+                        let out = matches!(action, ControlAction::ScaleOut { .. });
+                        if !out && self.scaled_out_workers == 0 {
+                            continue;
+                        }
+                        if let Some(plan) = controller.scale_plan(out, health, ctx) {
+                            if out {
+                                self.scaled_out_workers += plan.diff.workers_added.len();
+                            } else {
+                                self.scaled_out_workers = self
+                                    .scaled_out_workers
+                                    .saturating_sub(plan.diff.workers_removed.len().max(1));
+                            }
+                            self.replans_seen.push((
+                                if out {
+                                    "scale-out(load)".into()
+                                } else {
+                                    "scale-in(load)".into()
+                                },
+                                plan.searched_candidates,
+                            ));
+                            response.replan = Some(ReplanResponse {
+                                new_topology: Some(plan.topology),
+                                migrations: plan.migrations,
+                                replan_latency: plan.replan_latency,
+                            });
+                        }
+                    }
+                }
+                ControlAction::ThrottleOn { .. } => response.throttle = Some(true),
+                ControlAction::ThrottleOff => response.throttle = Some(false),
+                ControlAction::PaceOn { chunk_tokens, .. } => {
+                    response.pace_chunk_tokens = Some(Some(chunk_tokens))
+                }
+                ControlAction::PaceOff => response.pace_chunk_tokens = Some(None),
+            }
+        }
+        response.actions = actions;
+        response
     }
 }
 

@@ -1,0 +1,187 @@
+//! End-to-end closed-loop properties, engine level: the actuation
+//! sequence is a pure function of `(seed, trace, config)` and folds into
+//! the behavior digest; the open loop (`closed_loop: None`) is
+//! bit-identical to a run without telemetry at all; and a closed loop
+//! over calm traffic takes zero actions and reproduces the open-loop
+//! digest bit-for-bit. The automaton-level hysteresis properties
+//! (breach-for-N necessary and sufficient, cooldown bounds, throttle and
+//! pacing bands) live in `src/closed_loop.rs` unit tests; this file
+//! checks the same contract through the whole engine.
+
+use hetis_cluster::cluster::paper_cluster;
+use hetis_core::{HetisConfig, WorkloadProfile};
+use hetis_elastic::elastic_hetis;
+use hetis_engine::{run, AdmissionPolicy, ClosedLoopConfig, EngineConfig, RunReport};
+use hetis_model::llama_13b;
+use hetis_telemetry::TelemetryConfig;
+use hetis_workload::{multi_tenant_trace, DatasetKind, SloClass, TenantId, TenantSpec, Trace};
+
+/// The PR 5 burst-storm trace: an interactive chat tenant tripling its
+/// rate inside a 10 s burst over a long-prompt batch tenant — the
+/// workload whose transient overload gives the controller something to
+/// react to.
+fn storm_trace() -> Trace {
+    let specs = [
+        TenantSpec::steady(
+            TenantId(0),
+            DatasetKind::ShareGpt,
+            SloClass::Interactive,
+            6.0,
+        )
+        .with_burst(20.0, 10.0, 3.0),
+        TenantSpec::steady(TenantId(1), DatasetKind::LongBench, SloClass::Batch, 2.0),
+    ];
+    multi_tenant_trace(&specs, 4242, 60.0)
+}
+
+/// A gentle trace the cluster absorbs without queueing: every window
+/// stays inside target, so a correct controller must stay silent.
+fn calm_trace() -> Trace {
+    let specs = [TenantSpec::steady(
+        TenantId(0),
+        DatasetKind::ShareGpt,
+        SloClass::Interactive,
+        1.0,
+    )];
+    multi_tenant_trace(&specs, 777, 40.0)
+}
+
+/// Fused+priority engine config (the PR 5 fusion system) with the
+/// telemetry bus windowed tight enough for feedback.
+fn fused_cfg() -> EngineConfig {
+    let mut cfg = EngineConfig {
+        drain_timeout: 180.0,
+        ..EngineConfig::default()
+    };
+    cfg.prefill_chunk_tokens = Some(512);
+    cfg.admission = AdmissionPolicy::SloSlack;
+    cfg.fused_microbatches = true;
+    cfg
+}
+
+fn with_bus(mut cfg: EngineConfig) -> EngineConfig {
+    cfg.telemetry = Some(TelemetryConfig {
+        window_secs: 15.0,
+        ..TelemetryConfig::default()
+    });
+    cfg
+}
+
+fn run_storm(cfg: EngineConfig) -> RunReport {
+    let cluster = paper_cluster();
+    let model = llama_13b();
+    let profile = WorkloadProfile::for_cluster(DatasetKind::ShareGpt, &cluster, &model, 0.3);
+    run(
+        elastic_hetis(HetisConfig::default(), profile),
+        &cluster,
+        &model,
+        cfg,
+        &storm_trace(),
+    )
+}
+
+fn run_calm(cfg: EngineConfig) -> RunReport {
+    let cluster = paper_cluster();
+    let model = llama_13b();
+    let profile = WorkloadProfile::for_cluster(DatasetKind::ShareGpt, &cluster, &model, 0.3);
+    run(
+        elastic_hetis(HetisConfig::default(), profile),
+        &cluster,
+        &model,
+        cfg,
+        &calm_trace(),
+    )
+}
+
+#[test]
+fn same_seed_same_actuation_sequence_same_digest() {
+    let closed = || {
+        let mut cfg = with_bus(fused_cfg());
+        cfg.closed_loop = Some(ClosedLoopConfig::default());
+        run_storm(cfg)
+    };
+    let a = closed();
+    let b = closed();
+    assert!(
+        !a.control_log.is_empty(),
+        "the burst storm must actually engage the controller"
+    );
+    assert_eq!(
+        a.control_log, b.control_log,
+        "same seed must replay the identical actuation sequence"
+    );
+    assert_eq!(
+        a.digest(),
+        b.digest(),
+        "identical actuation sequences must pin to identical digests"
+    );
+    // The digest covers the control log: a run that took actions cannot
+    // collide with the open-loop run of the same trace.
+    let open = run_storm(with_bus(fused_cfg()));
+    assert!(open.control_log.is_empty());
+    assert_ne!(
+        a.digest(),
+        open.digest(),
+        "an actuating run must digest differently from the open loop"
+    );
+}
+
+#[test]
+fn open_loop_is_bit_identical_to_no_telemetry() {
+    // `closed_loop: None` with the bus attached must reproduce the
+    // bus-less digest bit-for-bit — the zero-cost gating contract that
+    // keeps every pre-existing pinned digest valid.
+    let without_bus = run_storm(fused_cfg());
+    let with_bus_open = run_storm(with_bus(fused_cfg()));
+    assert_eq!(
+        without_bus.digest(),
+        with_bus_open.digest(),
+        "telemetry + open loop must be digest-neutral"
+    );
+    assert!(with_bus_open.control_log.is_empty());
+}
+
+#[test]
+fn calm_traffic_takes_zero_actions_and_matches_open_loop() {
+    let open = run_calm(with_bus(fused_cfg()));
+    let closed = {
+        let mut cfg = with_bus(fused_cfg());
+        cfg.closed_loop = Some(ClosedLoopConfig::default());
+        run_calm(cfg)
+    };
+    assert!(
+        closed.control_log.is_empty(),
+        "calm traffic must not trip the controller: {:?}",
+        closed.control_log
+    );
+    assert_eq!(
+        open.digest(),
+        closed.digest(),
+        "a silent closed loop must be bit-identical to the open loop"
+    );
+}
+
+#[test]
+fn control_counters_match_the_log() {
+    let mut cfg = with_bus(fused_cfg());
+    cfg.closed_loop = Some(ClosedLoopConfig::default());
+    let report = run_storm(cfg);
+    let by_kind: usize = [
+        "scale-out",
+        "scale-in",
+        "throttle-on",
+        "throttle-off",
+        "pace-on",
+        "pace-off",
+    ]
+    .iter()
+    .map(|k| report.control_actions_of_kind(k))
+    .sum();
+    assert_eq!(by_kind, report.control_log.len());
+    // Scale-ins never outnumber scale-outs: the loop only returns
+    // capacity it added.
+    assert!(report.scale_in_proposals() <= report.scale_out_proposals());
+    // Engagement/release pairing: releases never outnumber engagements.
+    assert!(report.control_actions_of_kind("throttle-off") <= report.throttle_engagements());
+    assert!(report.control_actions_of_kind("pace-off") <= report.pace_engagements());
+}

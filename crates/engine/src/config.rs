@@ -71,6 +71,16 @@ pub struct EngineConfig {
     /// no bus is constructed, no event is published, and the run's
     /// behavior digest is bit-identical either way (DESIGN.md §T).
     pub telemetry: Option<TelemetryConfig>,
+    /// Closed-loop control on the telemetry bus (`None` = open loop, the
+    /// default). When `Some`, every periodic telemetry tick hands the
+    /// policy a fresh snapshot via
+    /// [`crate::policy::Policy::on_telemetry_tick`] and applies the
+    /// returned actuations (scale replans, admission throttling, chunk
+    /// pacing — see [`crate::control`]). Requires `telemetry` to be
+    /// `Some` with a positive `sample_period` (the loop is tick-edge
+    /// driven). `None` is bit-identical to pre-closed-loop behavior:
+    /// the hook is never called.
+    pub closed_loop: Option<crate::control::ClosedLoopConfig>,
 }
 
 impl Default for EngineConfig {
@@ -88,6 +98,7 @@ impl Default for EngineConfig {
             trace_sample_period: 1.0,
             drain_timeout: 600.0,
             telemetry: None,
+            closed_loop: None,
         }
     }
 }
@@ -107,5 +118,6 @@ mod tests {
         assert_eq!(c.decode_headroom_tokens, 16);
         assert_eq!(c.admission, AdmissionPolicy::Fifo);
         assert!(c.telemetry.is_none(), "telemetry is opt-in");
+        assert!(c.closed_loop.is_none(), "closed loop is opt-in");
     }
 }

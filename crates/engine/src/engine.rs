@@ -9,6 +9,7 @@
 
 use crate::churn::{ClusterEvent, ClusterEventKind, DeviceHealth, HealthView, ReplanRecord};
 use crate::config::{AdmissionPolicy, EngineConfig};
+use crate::control::ControlRecord;
 use crate::memory::KvState;
 use crate::metrics::{CompletedRequest, ModuleSample, RunReport, TraceSample};
 use crate::policy::{Policy, PolicyCtx, VictimAction};
@@ -294,6 +295,15 @@ pub struct Engine<'a, P: Policy> {
     /// sampler chains cannot keep *each other* alive until the drain
     /// deadline after the last request completes.
     sampling_pending: u32,
+    // closed-loop actuation state (all inert unless `cfg.closed_loop`)
+    /// When set, non-protected-class admissions are deferred back to the
+    /// waiting queue (closed-loop throttle actuation).
+    throttle_admission: bool,
+    /// Temporary chunk-token cap tightening `cfg.prefill_chunk_tokens`
+    /// (closed-loop pacing actuation; ignored under atomic prefill).
+    pace_chunk_tokens: Option<u64>,
+    /// Every applied control action, tick-stamped — `RunReport::control_log`.
+    control_log: Vec<ControlRecord>,
 }
 
 /// Runs `policy` over `trace` on `cluster`/`model`; returns the report —
@@ -418,6 +428,20 @@ impl<'a, P: Policy> Engine<'a, P> {
                 sampling_pending += 1;
             }
         }
+        // Closed-loop control rides the telemetry tick: without a bus and
+        // a periodic tick the controller would never observe anything.
+        if cfg.closed_loop.is_some() {
+            let ticking = cfg
+                .telemetry
+                .as_ref()
+                .map(|t| t.sample_period > 0.0)
+                .unwrap_or(false);
+            assert!(
+                ticking,
+                "EngineConfig::closed_loop requires telemetry with a positive sample_period \
+                 (the control loop is telemetry-tick-edge driven)"
+            );
+        }
 
         let original_roles = topo.instances.iter().map(|i| i.role).collect();
         let mut engine = Engine {
@@ -458,6 +482,9 @@ impl<'a, P: Policy> Engine<'a, P> {
             kv_grow_failures: 0,
             telemetry,
             sampling_pending,
+            throttle_admission: false,
+            pace_chunk_tokens: None,
+            control_log: Vec::new(),
         };
         // Late joiners: a device whose first scheduled event is a Join is
         // absent at startup.
@@ -581,6 +608,77 @@ impl<'a, P: Policy> Engine<'a, P> {
                 .schedule(self.clock.now() + period, Event::TelemetryTick);
             self.sampling_pending += 1;
         }
+        // Closed-loop control: the fresh samples above are part of the
+        // snapshot the controller sees this tick.
+        if self.cfg.closed_loop.is_some() {
+            self.control_tick();
+        }
+    }
+
+    /// One closed-loop control step at a telemetry tick edge: snapshot
+    /// the bus, ask the policy for actuations, apply them. A no-op
+    /// response returns before touching any engine state — including the
+    /// dispatch sweep — so a quiet controller is digest-neutral.
+    fn control_tick(&mut self) {
+        let now = self.clock.now().as_secs();
+        let snapshot = self
+            .telemetry
+            .as_ref()
+            .expect("closed loop requires telemetry")
+            .snapshot(now);
+        let closed_loop = self.cfg.closed_loop.clone().expect("gated by caller");
+        let health_view = HealthView::new(self.health.clone());
+        let response =
+            self.policy
+                .on_telemetry_tick(&snapshot, &closed_loop, &health_view, &ctx!(self));
+        if response.is_noop() {
+            return;
+        }
+        for &action in &response.actions {
+            self.control_log.push(ControlRecord { time: now, action });
+        }
+        if let Some(flag) = response.throttle {
+            self.throttle_admission = flag;
+        }
+        if let Some(cap) = response.pace_chunk_tokens {
+            self.pace_chunk_tokens = cap;
+        }
+        // Scale actuations reuse the cluster-change replan apply path:
+        // topology swap, best-effort drain migrations, and the planning
+        // stall charged to every pipeline (capacity changes are not
+        // free in the closed loop either).
+        if let Some(replan) = response.replan {
+            let mut record = ReplanRecord {
+                time: now,
+                event: "scale(closed-loop)".into(),
+                replan_latency: replan.replan_latency.max(0.0),
+                evicted: 0,
+                migrations_started: 0,
+                lost_tokens: 0,
+                replanned: false,
+            };
+            if let Some(topo) = replan.new_topology {
+                self.apply_replan_topology(topo);
+                record.replanned = true;
+            }
+            for op in replan.migrations {
+                if self.execute_redispatch(op.req, op.new_placement) {
+                    record.migrations_started += 1;
+                }
+            }
+            if record.replan_latency > 0.0 {
+                let stall_until = SimTime::from_secs(now + record.replan_latency);
+                for inst in self.instances.iter_mut() {
+                    for t in inst.stage_free_at.iter_mut() {
+                        *t = (*t).max(stall_until);
+                    }
+                }
+            }
+            self.replans.push(record);
+        }
+        for i in 0..self.instances.len() {
+            self.try_dispatch(i);
+        }
     }
 
     /// Records the cluster-wide reserved-KV high-water mark. Called from
@@ -655,6 +753,7 @@ impl<'a, P: Policy> Engine<'a, P> {
             kv_grow_failures: self.kv_grow_failures,
             telemetry_dropped,
             telemetry,
+            control_log: self.control_log,
         }
     }
 
@@ -1375,6 +1474,9 @@ impl<'a, P: Policy> Engine<'a, P> {
         cohort: usize,
     ) -> Vec<(RequestId, u64, u64)> {
         // Per-request chunk cap: ∞ (atomic prefill) unless configured.
+        // Closed-loop pacing does NOT shrink this budget — it gates how
+        // many chunk tokens may ride a *fused* iteration (see
+        // `try_form_fused`), so paced drains still move full chunks.
         let chunk_cap = self.cfg.prefill_chunk_tokens.unwrap_or(u64::MAX).max(1);
         let incremental = self.cfg.prefill_chunk_tokens.is_some();
         let headroom = self.cfg.decode_headroom_tokens;
@@ -1437,11 +1539,29 @@ impl<'a, P: Policy> Engine<'a, P> {
         // longer block the queue behind them.
         let running = self.running_count(inst);
         let mut candidates: Vec<RequestId> = Vec::new();
+        // Closed-loop throttle: while engaged, admissions of every class
+        // except the protected one are deferred back to the queue (their
+        // slack keys are unchanged, so re-enqueueing restores the exact
+        // heap order next round). Designed for `SloSlack` admission;
+        // under FIFO a deferred request re-enters at the back.
+        let protect = if self.throttle_admission {
+            self.cfg.closed_loop.as_ref().map(|c| c.protected_class)
+        } else {
+            None
+        };
+        let mut deferred: Vec<SlackKey> = Vec::new();
         if running < self.cfg.max_running
             && tokens < budget
             && !self.instances[inst].waiting.is_empty()
         {
             while let Some(rid) = self.instances[inst].waiting.peek() {
+                if let Some(protect) = protect {
+                    if self.requests[&rid].req.class != protect {
+                        self.instances[inst].waiting.dequeue();
+                        deferred.push(slack_key(&self.requests[&rid].req));
+                        continue;
+                    }
+                }
                 let eff = self.requests[&rid].effective_input as u64;
                 let chunk = eff.min(chunk_cap);
                 if (!entries.is_empty() || !candidates.is_empty())
@@ -1454,6 +1574,9 @@ impl<'a, P: Policy> Engine<'a, P> {
                 candidates.push(rid);
                 tokens += chunk;
             }
+        }
+        for key in deferred {
+            self.instances[inst].waiting.enqueue(key);
         }
         if entries.is_empty() && candidates.is_empty() {
             return entries;
@@ -1833,11 +1956,55 @@ impl<'a, P: Policy> Engine<'a, P> {
         if role == InstanceRole::Down {
             return false;
         }
+        // Closed-loop pacing: while engaged, heavy chunk backlogs drain
+        // through the chunked-alternating discipline — one pure prefill
+        // iteration, one pure decode iteration — instead of dragging the
+        // decode batch's attention through every chunk drain. The
+        // alternation decision mirrors the non-fused formation loop and
+        // must precede BOTH collectors (each reserves KV as a side
+        // effect): after a prefill-kind iteration, decode gets the next
+        // one.
+        let paced = self.pace_chunk_tokens.is_some() && role == InstanceRole::Both;
+        if paced {
+            let co = &self.instances[inst].cohorts[cohort];
+            let has_continuing = co.prefilling.iter().any(|rid| {
+                let r = &self.requests[rid];
+                r.phase == Phase::Prefilling && !r.in_flight && r.remaining_prefill() > 0
+            });
+            let has_decode_ready = co
+                .members
+                .iter()
+                .any(|rid| self.requests[rid].phase == Phase::Decoding);
+            if has_continuing
+                && has_decode_ready
+                && matches!(
+                    co.last_kind,
+                    Some(UbatchKind::Prefill) | Some(UbatchKind::Fused)
+                )
+                && self.try_form_decode(inst, cohort)
+            {
+                return true;
+            }
+        }
         let entries = if role == InstanceRole::DecodeOnly {
             Vec::new()
         } else {
             self.collect_prefill_entries(inst, cohort)
         };
+        // Paced defuse: a backlog above the cap becomes a PURE prefill
+        // iteration (the decode batch sits this one out); backlogs at or
+        // under the cap keep riding the decode batch, preserving the
+        // fused cadence. Decided before `collect_decode_batch`, which
+        // appends next-token KV for the batch it returns.
+        if let Some(cap) = self.pace_chunk_tokens {
+            if !entries.is_empty() {
+                let backlog: u64 = entries.iter().map(|&(_, chunk, _)| chunk).sum();
+                if backlog > cap {
+                    self.schedule_prefill(inst, cohort, entries);
+                    return true;
+                }
+            }
+        }
         let decode = if role == InstanceRole::PrefillOnly {
             None
         } else {

@@ -34,6 +34,7 @@
 
 pub mod churn;
 pub mod config;
+pub mod control;
 pub mod engine;
 pub mod memory;
 pub mod metrics;
@@ -46,6 +47,7 @@ pub use churn::{
     ClusterEvent, ClusterEventKind, DeviceHealth, HealthView, ReplanRecord, ReplanResponse,
 };
 pub use config::{AdmissionPolicy, EngineConfig};
+pub use control::{ClosedLoopConfig, ControlAction, ControlRecord, ControlResponse};
 pub use engine::{run, run_with_churn, Engine};
 pub use memory::{DeviceKv, KvState};
 pub use metrics::{ClassStats, CompletedRequest, ModuleSample, RunReport, TraceSample};

@@ -198,6 +198,14 @@ pub struct RunReport {
     /// the snapshot is derived from the same completions it already
     /// folds.
     pub telemetry: Option<hetis_telemetry::TelemetrySnapshot>,
+    /// Every closed-loop control action applied, tick-stamped in event
+    /// order (empty when `EngineConfig::closed_loop` is `None` — and
+    /// when the controller stayed quiet for the whole run). Folded into
+    /// [`RunReport::digest`] *only when non-empty*: pre-closed-loop
+    /// digests stay bit-identical, a quiet closed-loop run digests
+    /// identically to its open-loop twin, and two equal digests imply
+    /// byte-identical actuation sequences.
+    pub control_log: Vec<crate::control::ControlRecord>,
 }
 
 impl RunReport {
@@ -370,7 +378,49 @@ impl RunReport {
             fold(r.evicted as u64);
             fold(r.lost_tokens);
         }
+        // Closed-loop actuation history — folded only when non-empty so
+        // every pre-closed-loop pin stays bit-identical and a quiet
+        // controller digests exactly like an open loop, while equal
+        // digests of actuating runs imply identical action sequences.
+        if !self.control_log.is_empty() {
+            fold(self.control_log.len() as u64);
+            for r in &self.control_log {
+                fold(r.time.to_bits());
+                let [a, b] = r.action.digest_words();
+                fold(a);
+                fold(b);
+            }
+        }
         h
+    }
+
+    /// Closed-loop control actions of one kind (see
+    /// [`crate::control::ControlAction::kind`]).
+    pub fn control_actions_of_kind(&self, kind: &str) -> usize {
+        self.control_log
+            .iter()
+            .filter(|r| r.action.kind() == kind)
+            .count()
+    }
+
+    /// Scale-out proposals the closed loop emitted.
+    pub fn scale_out_proposals(&self) -> usize {
+        self.control_actions_of_kind("scale-out")
+    }
+
+    /// Scale-in proposals the closed loop emitted.
+    pub fn scale_in_proposals(&self) -> usize {
+        self.control_actions_of_kind("scale-in")
+    }
+
+    /// Times the closed loop engaged the admission throttle.
+    pub fn throttle_engagements(&self) -> usize {
+        self.control_actions_of_kind("throttle-on")
+    }
+
+    /// Times the closed loop engaged chunk pacing.
+    pub fn pace_engagements(&self) -> usize {
+        self.control_actions_of_kind("pace-on")
     }
 
     /// P95 TTFT.
@@ -484,6 +534,7 @@ mod tests {
             kv_grow_failures: 0,
             telemetry_dropped: 0,
             telemetry: None,
+            control_log: vec![],
         }
     }
 
@@ -495,6 +546,33 @@ mod tests {
         assert_eq!(r.p95_mlp(), 0.0);
         assert_eq!(r.throughput(), 0.0);
         assert_eq!(r.completion_rate(), 1.0);
+        assert_eq!(r.scale_out_proposals(), 0);
+    }
+
+    #[test]
+    fn control_log_folds_only_when_non_empty() {
+        use crate::control::{ControlAction, ControlRecord};
+        let base = empty_report();
+        let pinned = base.digest();
+        // An empty log is the open-loop / quiet-controller case: digest
+        // unchanged.
+        assert!(base.control_log.is_empty());
+        assert_eq!(base.digest(), pinned);
+        let mut acted = empty_report();
+        acted.control_log.push(ControlRecord {
+            time: 12.0,
+            action: ControlAction::ThrottleOn { attainment: 0.8 },
+        });
+        assert_ne!(acted.digest(), pinned, "actuations must be digested");
+        assert_eq!(acted.throttle_engagements(), 1);
+        assert_eq!(acted.control_actions_of_kind("pace-on"), 0);
+        // Different action payload ⇒ different digest.
+        let mut other = empty_report();
+        other.control_log.push(ControlRecord {
+            time: 12.0,
+            action: ControlAction::ThrottleOn { attainment: 0.5 },
+        });
+        assert_ne!(other.digest(), acted.digest());
     }
 
     #[test]

@@ -127,6 +127,23 @@ pub trait Policy {
     ) -> crate::churn::ReplanResponse {
         crate::churn::ReplanResponse::default()
     }
+
+    /// Called at every periodic telemetry tick — but only when
+    /// [`crate::config::EngineConfig::closed_loop`] is set — with a fresh
+    /// bus snapshot. Return a [`crate::control::ControlResponse`] to
+    /// actuate (scale replan, admission throttle, chunk pacing); the
+    /// default keeps the loop open. A no-op response leaves the engine
+    /// untouched (no dispatch sweep, nothing logged), so quiet
+    /// controllers are digest-neutral.
+    fn on_telemetry_tick(
+        &mut self,
+        _snapshot: &hetis_telemetry::TelemetrySnapshot,
+        _closed_loop: &crate::control::ClosedLoopConfig,
+        _health: &crate::churn::HealthView,
+        _ctx: &PolicyCtx<'_>,
+    ) -> crate::control::ControlResponse {
+        crate::control::ControlResponse::default()
+    }
 }
 
 /// The simplest complete policy: a fixed topology, round-robin routing,

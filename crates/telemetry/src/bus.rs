@@ -103,6 +103,23 @@ pub struct ClassLatencyStats {
     pub tpot: WindowSummary,
     /// Normalized end-to-end latency window summary (s/token).
     pub normalized_latency: WindowSummary,
+    /// Windowed SLO grades: one 0/1 sample per completion (the exact
+    /// `CompletedRequest::slo_met` formula), so `slo.mean` is the
+    /// windowed attainment and `slo.count` the graded completions.
+    pub slo: WindowSummary,
+}
+
+impl ClassLatencyStats {
+    /// Windowed SLO attainment in `[0, 1]`; `1.0` when no completion was
+    /// graded inside the window (vacuous attainment, mirroring
+    /// `ClassStats::attainment`).
+    pub fn attainment(&self) -> f64 {
+        if self.slo.count == 0 {
+            1.0
+        } else {
+            self.slo.mean
+        }
+    }
 }
 
 /// A point-in-time view of everything the bus aggregates — the in-memory
@@ -153,6 +170,23 @@ impl TelemetrySnapshot {
             .map(|c| c.ttft.p99)
     }
 
+    /// TTFT window summary of one class, `None` until the window holds a
+    /// TTFT sample — the breach signal closed-loop scaling watches.
+    pub fn windowed_ttft(&self, class: SloClass) -> Option<WindowSummary> {
+        self.class(class)
+            .filter(|c| c.ttft.count > 0)
+            .map(|c| c.ttft)
+    }
+
+    /// Windowed SLO attainment of one class, `None` until a completion
+    /// of that class was graded inside the window — the signal
+    /// closed-loop admission throttling watches.
+    pub fn windowed_attainment(&self, class: SloClass) -> Option<f64> {
+        self.class(class)
+            .filter(|c| c.slo.count > 0)
+            .map(|c| c.slo.mean)
+    }
+
     /// Largest sampled admission-queue depth across instances.
     pub fn max_queue_depth(&self) -> u32 {
         self.queue_depths
@@ -175,6 +209,7 @@ pub struct TelemetryBus {
     ttft: Vec<SlidingWindow>,
     tpot: Vec<SlidingWindow>,
     norm: Vec<SlidingWindow>,
+    slo: Vec<SlidingWindow>,
     depths: Vec<Option<QueueDepthStat>>,
     kv: Option<KvOccupancySample>,
     sinks: Vec<Box<dyn TelemetrySink>>,
@@ -202,6 +237,7 @@ impl TelemetryBus {
             ttft: mkwindows(),
             tpot: mkwindows(),
             norm: mkwindows(),
+            slo: mkwindows(),
             depths: vec![None; instances],
             kv: None,
             sinks,
@@ -264,7 +300,8 @@ impl TelemetryBus {
             },
         });
         let i = done.class.index() as usize;
-        self.ttft[i].push(done.completion, done.first_token - done.arrival);
+        let ttft = done.first_token - done.arrival;
+        self.ttft[i].push(done.completion, ttft);
         if done.output_len > 1 {
             self.tpot[i].push(
                 done.completion,
@@ -275,6 +312,16 @@ impl TelemetryBus {
             done.completion,
             (done.completion - done.arrival) / done.output_len as f64,
         );
+        // Grade against the class target with the exact
+        // `CompletedRequest::slo_met` formula (single-token requests have
+        // TPOT 0, which trivially meets any target).
+        let tpot = if done.output_len > 1 {
+            (done.completion - done.first_token) / (done.output_len - 1) as f64
+        } else {
+            0.0
+        };
+        let met = done.class.target().met(ttft, tpot);
+        self.slo[i].push(done.completion, if met { 1.0 } else { 0.0 });
         self.completions += 1;
         let record = self.flows.finalize(done);
         for sink in &mut self.sinks {
@@ -309,11 +356,13 @@ impl TelemetryBus {
                 let ttft = self.ttft[i].summary(now);
                 let tpot = self.tpot[i].summary(now);
                 let norm = self.norm[i].summary(now);
+                let slo = self.slo[i].summary(now);
                 (ttft.count + tpot.count + norm.count > 0).then_some(ClassLatencyStats {
                     class,
                     ttft,
                     tpot,
                     normalized_latency: norm,
+                    slo,
                 })
             })
             .collect();
@@ -387,6 +436,31 @@ mod tests {
         // Constant 1-second TTFTs: every percentile is exactly 1.
         assert_eq!(snap.p99_ttft(SloClass::Interactive), Some(1.0));
         assert!(snap.class(SloClass::Batch).is_none());
+    }
+
+    #[test]
+    fn windowed_attainment_grades_like_the_report() {
+        let mut bus = TelemetryBus::new(&TelemetryConfig::full_run(), 1).unwrap();
+        // The helper's completions have TTFT 1.0 s and TPOT 0.25 s/tok:
+        // they meet Interactive's TTFT bound but miss its 0.2 s TPOT
+        // bound, so every graded interactive completion fails.
+        for i in 0..4 {
+            bus.complete(&done(i, SloClass::Interactive, 10.0 + i as f64));
+        }
+        // The same latencies are comfortably inside Batch's targets.
+        for i in 4..6 {
+            bus.complete(&done(i, SloClass::Batch, 20.0 + i as f64));
+        }
+        let snap = bus.snapshot(30.0);
+        assert_eq!(snap.windowed_attainment(SloClass::Interactive), Some(0.0));
+        assert_eq!(snap.windowed_attainment(SloClass::Batch), Some(1.0));
+        assert_eq!(snap.windowed_attainment(SloClass::BestEffort), None);
+        let c = snap.class(SloClass::Interactive).unwrap();
+        assert_eq!(c.slo.count, 4);
+        assert_eq!(c.attainment(), 0.0);
+        let t = snap.windowed_ttft(SloClass::Interactive).unwrap();
+        assert_eq!(t.count, 4);
+        assert!((t.mean - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub struct WindowSummary {
     pub p95: f64,
     /// 99th percentile (0 when empty).
     pub p99: f64,
+    /// Arithmetic mean (0 when empty). For 0/1-valued indicator samples
+    /// (e.g. per-completion SLO grades) this is the windowed rate.
+    pub mean: f64,
 }
 
 /// A sliding window of f64 samples bucketed by time.
@@ -107,11 +110,17 @@ impl SlidingWindow {
     /// Percentile summary of the window ending at `now`.
     pub fn summary(&self, now: f64) -> WindowSummary {
         let samples = self.samples(now);
+        let mean = if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().sum::<f64>() / samples.len() as f64
+        };
         WindowSummary {
             count: samples.len(),
             p50: percentile(&samples, 50.0).unwrap_or(0.0),
             p95: percentile(&samples, 95.0).unwrap_or(0.0),
             p99: percentile(&samples, 99.0).unwrap_or(0.0),
+            mean,
         }
     }
 }
