@@ -2,7 +2,8 @@
 # Scenario behavior gate: digest pinning + bench-regression smoke.
 #
 # Runs scenario_slo_mix, scenario_elastic_churn, scenario_closed_loop,
-# and the fig8 quick sweep under BOTH dispatch solver modes and fails
+# and the fig8/fig9/fig10 quick sweeps under BOTH dispatch solver modes,
+# plus a HETIS_SIM_SHARDS=4 sharded smoke of two scenarios, and fails
 # when
 #   1. any per-system behavior digest drifts from ci/pinned_digests.tsv
 #      (re-pin in the same PR with a justification line when an engine
@@ -22,11 +23,23 @@ outdir="${SCENARIO_GATE_OUT:-target/scenario-gate}"
 mkdir -p "$outdir"
 
 for solver in waterfill simplex; do
-  for bench in scenario_slo_mix scenario_elastic_churn scenario_closed_loop fig8_e2e_llama13b; do
+  for bench in scenario_slo_mix scenario_elastic_churn scenario_closed_loop \
+               fig8_e2e_llama13b fig9_e2e_opt30b fig10_e2e_llama70b; do
     echo "== $bench (HETIS_DISPATCH_SOLVER=$solver)"
     HETIS_DISPATCH_SOLVER=$solver cargo bench --bench "$bench" \
       > "$outdir/$bench.$solver.out"
   done
+done
+
+# Sharded smoke: the parallel simulation core (HETIS_SIM_SHARDS > 1)
+# promises BIT-IDENTICAL digests to the sequential engine for any shard
+# count. Re-run two scenarios on four shards; their digest rows are
+# diffed against the very same pins below, so any window-protocol drift
+# fails the gate exactly like a sequential regression would.
+for bench in scenario_slo_mix scenario_elastic_churn; do
+  echo "== $bench (HETIS_SIM_SHARDS=4)"
+  HETIS_SIM_SHARDS=4 cargo bench --bench "$bench" \
+    > "$outdir/$bench.waterfill.sharded4.out"
 done
 
 fail=0
@@ -52,6 +65,8 @@ for solver in waterfill simplex; do
     "$outdir/scenario_elastic_churn.$solver.out" \
     "$outdir/scenario_closed_loop.$solver.out" \
     "$outdir/fig8_e2e_llama13b.$solver.out" \
+    "$outdir/fig9_e2e_opt30b.$solver.out" \
+    "$outdir/fig10_e2e_llama70b.$solver.out" \
     | awk -v s="$solver" -F'\t' '{ print s "\t" $1 "\t" $3 "\t" $4 }' \
     >> "$actual"
 done
@@ -66,6 +81,26 @@ else
   echo "digest gate: all $(wc -l < "$pinned") pins match"
 fi
 
+# ---- 1b. sharded bit-identity ---------------------------------------------
+# The sharded runs must reproduce the SAME pinned digests — not merely be
+# self-consistent. Diff each sharded row against the waterfill pin.
+shact="$outdir/digests.sharded4.tsv"
+grep -h "behavior-digest" \
+  "$outdir/scenario_slo_mix.waterfill.sharded4.out" \
+  "$outdir/scenario_elastic_churn.waterfill.sharded4.out" \
+  | awk -F'\t' '{ print "waterfill\t" $1 "\t" $3 "\t" $4 }' | sort > "$shact"
+shpin="$outdir/pinned.sharded-subset.tsv"
+grep -v '^#' ci/pinned_digests.tsv \
+  | awk -F'\t' '$1 == "waterfill" && ($2 == "slo_mix" || $2 == "elastic_storm")' \
+  | sort > "$shpin"
+if ! diff -u "$shpin" "$shact"; then
+  echo "FAIL: HETIS_SIM_SHARDS=4 digests diverged from the sequential pins" >&2
+  echo "      (the sharded runner's bit-identity contract is broken)" >&2
+  fail=1
+else
+  echo "sharded gate: all $(wc -l < "$shpin") digests identical on 4 shards"
+fi
+
 # ---- 2. sim-throughput floors ---------------------------------------------
 while IFS=$'\t' read -r scenario system floor; do
   [[ "$scenario" == \#* || -z "$scenario" ]] && continue
@@ -73,6 +108,8 @@ while IFS=$'\t' read -r scenario system floor; do
     slo_mix) out="$outdir/scenario_slo_mix.waterfill.out" ;;
     elastic_storm) out="$outdir/scenario_elastic_churn.waterfill.out" ;;
     closed_loop) out="$outdir/scenario_closed_loop.waterfill.out" ;;
+    slo_mix@shards4) out="$outdir/scenario_slo_mix.waterfill.sharded4.out" ;;
+    elastic_storm@shards4) out="$outdir/scenario_elastic_churn.waterfill.sharded4.out" ;;
     *) echo "unknown scenario '$scenario' in floors file" >&2; fail=1; continue ;;
   esac
   got=$(awk -F'\t' -v sys="$system" \

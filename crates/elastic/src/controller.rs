@@ -512,13 +512,13 @@ fn plan_drain(
 ) -> Vec<RedispatchOp> {
     let mut affected: Vec<(RequestId, HeadPlacement, usize)> = ctx
         .requests
-        .iter()
-        .filter(|(_, r)| r.phase == Phase::Decoding && !r.in_flight)
-        .filter_map(|(rid, r)| {
+        .values()
+        .filter(|r| r.phase == Phase::Decoding && !r.in_flight)
+        .filter_map(|r| {
             let p = r.placement.as_ref()?;
             p.devices()
                 .contains(&draining)
-                .then(|| (*rid, p.clone(), r.instance))
+                .then(|| (r.req.id, p.clone(), r.instance))
         })
         .collect();
     affected.sort_by_key(|&(rid, ..)| rid);
@@ -716,8 +716,8 @@ mod tests {
             cluster: &c,
             model: &model,
             now: 0.0,
-            kv: &kv,
-            requests: &requests,
+            kv: hetis_engine::KvView::single(&kv),
+            requests: hetis_engine::RequestsView::single(&requests),
             topology: &topo,
             prefill_chunk_tokens: None,
         };
@@ -837,8 +837,8 @@ mod tests {
             cluster: &c,
             model: &model,
             now: 0.0,
-            kv: &kv,
-            requests: &requests,
+            kv: hetis_engine::KvView::single(&kv),
+            requests: hetis_engine::RequestsView::single(&requests),
             topology: &topo,
             prefill_chunk_tokens: None,
         };

@@ -81,6 +81,17 @@ pub struct EngineConfig {
     /// driven). `None` is bit-identical to pre-closed-loop behavior:
     /// the hook is never called.
     pub closed_loop: Option<crate::control::ClosedLoopConfig>,
+    /// Simulation shards: worker threads the event loop may fan serving
+    /// instances across (DESIGN.md §P). `1` (the default) is the exact
+    /// sequential engine; `> 1` runs device-disjoint instance groups on
+    /// real threads inside conservative windows, falling back to the
+    /// sequential path whenever the scenario cannot shard safely
+    /// (`kernel_jitter > 0`, a policy without [`crate::Policy::fork`],
+    /// phase-coupled topologies, or a single connected component). The
+    /// `HETIS_SIM_SHARDS` environment variable overrides this at
+    /// [`crate::engine::run`] time. Behavior digests are bit-identical
+    /// for any shard count.
+    pub sim_shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -99,6 +110,7 @@ impl Default for EngineConfig {
             drain_timeout: 600.0,
             telemetry: None,
             closed_loop: None,
+            sim_shards: 1,
         }
     }
 }

@@ -25,6 +25,8 @@ use hetis_workload::{RequestId, Trace};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
+mod shard;
+
 /// Engine events.
 #[derive(Debug, Clone)]
 enum Event {
@@ -236,8 +238,8 @@ macro_rules! ctx {
             cluster: $self.cluster,
             model: $self.model,
             now: $self.clock.now().as_secs(),
-            kv: &$self.kv,
-            requests: &$self.requests,
+            kv: crate::policy::KvView::single(&$self.kv),
+            requests: crate::policy::RequestsView::single(&$self.requests),
             topology: &$self.topo,
             prefill_chunk_tokens: $self.cfg.prefill_chunk_tokens,
         }
@@ -295,6 +297,11 @@ pub struct Engine<'a, P: Policy> {
     /// sampler chains cannot keep *each other* alive until the drain
     /// deadline after the last request completes.
     sampling_pending: u32,
+    /// Events the sharded coordinator holds outside `events` (the
+    /// pending-arrival side channel). Counted by the liveness guard so
+    /// sampler chains see the same "work remains" answer the sequential
+    /// engine would; always 0 on the sequential path.
+    shard_external_pending: usize,
     // closed-loop actuation state (all inert unless `cfg.closed_loop`)
     /// When set, non-protected-class admissions are deferred back to the
     /// waiting queue (closed-loop throttle actuation).
@@ -304,6 +311,16 @@ pub struct Engine<'a, P: Policy> {
     pace_chunk_tokens: Option<u64>,
     /// Every applied control action, tick-stamped — `RunReport::control_log`.
     control_log: Vec<ControlRecord>,
+    /// Shard-window side-effect capture (`None` on the sequential path
+    /// and on the sharded coordinator's own engine; `Some` only on shard
+    /// group engines while a conservative window runs). Order-sensitive
+    /// side effects — telemetry taps, completions, module samples,
+    /// migrated-byte increments — are recorded here tagged with the
+    /// generating event's exact `(time, seq)` key instead of being
+    /// applied, and the coordinator replays them globally key-sorted at
+    /// the next barrier so f64 accumulation order and bus contents match
+    /// the sequential engine bit-for-bit (DESIGN.md §P).
+    capture: Option<shard::ShardCapture>,
 }
 
 /// Runs `policy` over `trace` on `cluster`/`model`; returns the report —
@@ -337,9 +354,13 @@ pub fn run_with_churn<P: Policy>(
     trace: &Trace,
     events: &[ClusterEvent],
 ) -> RunReport {
+    let shards = std::env::var("HETIS_SIM_SHARDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(cfg.sim_shards);
     let topo = policy.topology(cluster, model, &cfg);
     let mut engine = Engine::new_with_churn(policy, cluster, model, cfg, topo, trace, events);
-    engine.run_to_completion();
+    engine.run_sharded(shards);
     engine.into_report()
 }
 
@@ -482,9 +503,11 @@ impl<'a, P: Policy> Engine<'a, P> {
             kv_grow_failures: 0,
             telemetry,
             sampling_pending,
+            shard_external_pending: 0,
             throttle_admission: false,
             pace_chunk_tokens: None,
             control_log: Vec::new(),
+            capture: None,
         };
         // Late joiners: a device whose first scheduled event is a Join is
         // absent at startup.
@@ -523,6 +546,14 @@ impl<'a, P: Policy> Engine<'a, P> {
             return false;
         }
         self.clock.advance_to(at);
+        self.dispatch_event(event);
+        true
+    }
+
+    /// Executes one already-popped event at the current clock (the body
+    /// of [`Engine::step`], shared with the sharded coordinator's
+    /// barrier path).
+    fn dispatch_event(&mut self, event: Event) {
         self.events_processed += 1;
         if matches!(event, Event::Sample | Event::TelemetryTick) {
             self.sampling_pending -= 1;
@@ -536,7 +567,6 @@ impl<'a, P: Policy> Engine<'a, P> {
             Event::DrainDeadline(dev) => self.on_drain_deadline(dev),
             Event::TelemetryTick => self.on_telemetry_tick(),
         }
-        true
     }
 
     /// Publishes one flow event on the telemetry bus; a no-op when
@@ -545,11 +575,40 @@ impl<'a, P: Policy> Engine<'a, P> {
     /// without touching the heap.
     #[inline]
     fn tap(&mut self, kind: FlowEventKind) {
+        let time = self.clock.now().as_secs();
+        if let Some(cap) = self.capture.as_mut() {
+            if cap.telemetry_on {
+                cap.push(shard::Captured::Flow(FlowEvent { time, kind }));
+            }
+            return;
+        }
         if let Some(bus) = self.telemetry.as_mut() {
-            bus.publish(FlowEvent {
-                time: self.clock.now().as_secs(),
-                kind,
-            });
+            bus.publish(FlowEvent { time, kind });
+        }
+    }
+
+    /// Accumulates migrated KV bytes. `migrated_bytes` is an f64 sum whose
+    /// bit pattern is folded into the run digest, and float addition is not
+    /// associative — inside a shard window the increment is captured and
+    /// replayed at the barrier in global event order instead of being added
+    /// to a shard-local partial sum.
+    #[inline]
+    fn note_migrated(&mut self, bytes: f64) {
+        if let Some(cap) = self.capture.as_mut() {
+            cap.push(shard::Captured::Migrated(bytes));
+        } else {
+            self.migrated_bytes += bytes;
+        }
+    }
+
+    /// Records a Fig. 13 module sample; captured under sharding so the
+    /// series stays in global chronological order.
+    #[inline]
+    fn note_module_sample(&mut self, sample: ModuleSample) {
+        if let Some(cap) = self.capture.as_mut() {
+            cap.push(shard::Captured::Module(sample));
+        } else {
+            self.module_samples.push(sample);
         }
     }
 
@@ -764,6 +823,14 @@ impl<'a, P: Policy> Engine<'a, P> {
         // Route before registering the request so load-based policies do
         // not see the arrival itself as resident load.
         let inst = self.route_surviving(req, 0);
+        self.admit_routed(req, inst);
+    }
+
+    /// Admission tail of an arrival, after routing picked `inst`. Split
+    /// out of [`Engine::on_arrival`] because the sharded coordinator
+    /// routes on its own engine (which sees every shard's request map)
+    /// and then admits on the shard that owns `inst`.
+    fn admit_routed(&mut self, req: hetis_workload::Request, inst: usize) {
         self.requests.insert(req.id, RunningRequest::new(req, inst));
         self.instances[inst].waiting.enqueue(slack_key(&req));
         self.tap(FlowEventKind::Arrival {
@@ -927,7 +994,7 @@ impl<'a, P: Policy> Engine<'a, P> {
     /// as pending work and ticking on until the drain deadline.
     fn work_remains(&self) -> bool {
         self.requests.values().any(|r| r.phase != Phase::Done)
-            || self.events.len() > self.sampling_pending as usize
+            || self.events.len() + self.shard_external_pending > self.sampling_pending as usize
     }
 
     // ------------------------------------------------------------- churn
@@ -1917,7 +1984,7 @@ impl<'a, P: Policy> Engine<'a, P> {
             dense_tokens,
         );
 
-        self.module_samples.push(ModuleSample {
+        self.note_module_sample(ModuleSample {
             time: self.clock.now().as_secs(),
             mlp: max_mlp * n_stages as f64,
             attn: max_attn * n_stages as f64,
@@ -2070,7 +2137,7 @@ impl<'a, P: Policy> Engine<'a, P> {
         // Fused iterations ARE this mode's decode iterations — record the
         // Fig. 13 module sample (the chunk's share of MLP time is real
         // work the decode tokens co-schedule with).
-        self.module_samples.push(ModuleSample {
+        self.note_module_sample(ModuleSample {
             time: self.clock.now().as_secs(),
             mlp: max_mlp * n_stages as f64,
             attn: max_attn * n_stages as f64,
@@ -2478,7 +2545,7 @@ impl<'a, P: Policy> Engine<'a, P> {
         r.migration_epoch += 1;
         let epoch = r.migration_epoch;
         self.migrations += 1;
-        self.migrated_bytes += moved_bytes;
+        self.note_migrated(moved_bytes);
         self.tap(FlowEventKind::Redispatch {
             req: rid,
             instance: inst as u32,
@@ -2596,7 +2663,7 @@ impl<'a, P: Policy> Engine<'a, P> {
             .migration
             .schedule(src_anchor.0, dst_anchor.0, link, src_bytes, now);
         self.migrations += 1;
-        self.migrated_bytes += src_bytes;
+        self.note_migrated(src_bytes);
         let r = self.requests.get_mut(&rid).expect("live");
         r.phase = Phase::Migrating;
         r.migration_sources = vec![src_anchor];
@@ -2648,7 +2715,7 @@ impl<'a, P: Policy> Engine<'a, P> {
             r.migration_epoch += 1;
             let epoch = r.migration_epoch;
             self.migrations += 1;
-            self.migrated_bytes += scattered;
+            self.note_migrated(scattered);
             self.events.schedule(
                 SimTime::from_secs(finish),
                 Event::MigrationDone { req: rid, epoch },
@@ -2670,7 +2737,9 @@ impl<'a, P: Policy> Engine<'a, P> {
         self.note_kv_peak();
         // The flow record wants the resident KV footprint, which is gone
         // after the frees below — sum it first (enabled runs only).
-        let kv_bytes = if self.telemetry.is_some() {
+        let telemetry_on =
+            self.telemetry.is_some() || self.capture.as_ref().is_some_and(|c| c.telemetry_on);
+        let kv_bytes = if telemetry_on {
             (0..self.kv.len())
                 .map(|d| self.kv.device(DeviceId(d as u32)).request_bytes(rid))
                 .sum()
@@ -2695,23 +2764,35 @@ impl<'a, P: Policy> Engine<'a, P> {
             class: r.req.class,
             tenant: r.req.tenant,
         };
-        if let Some(bus) = self.telemetry.as_mut() {
-            bus.complete(&FlowCompletion {
-                req: rid,
-                class: rec.class,
-                tenant: rec.tenant,
-                instance: inst as u32,
-                arrival: rec.arrival,
-                first_token: rec.first_token,
-                completion: rec.completion,
-                input_len: rec.input_len,
-                output_len: rec.output_len,
-                preemptions: rec.preemptions,
-                redispatches: rec.redispatches,
-                kv_bytes,
-            });
+        let completion = FlowCompletion {
+            req: rid,
+            class: rec.class,
+            tenant: rec.tenant,
+            instance: inst as u32,
+            arrival: rec.arrival,
+            first_token: rec.first_token,
+            completion: rec.completion,
+            input_len: rec.input_len,
+            output_len: rec.output_len,
+            preemptions: rec.preemptions,
+            redispatches: rec.redispatches,
+            kv_bytes,
+        };
+        if let Some(cap) = self.capture.as_mut() {
+            // Shard window: both the flow record and the completed-request
+            // row are order-sensitive (the digest folds `completed` in push
+            // order), so they are replayed at the next barrier merge in
+            // global event order rather than applied here.
+            if cap.telemetry_on {
+                cap.push(shard::Captured::Completion(completion));
+            }
+            cap.push(shard::Captured::Completed(rec));
+        } else {
+            if let Some(bus) = self.telemetry.as_mut() {
+                bus.complete(&completion);
+            }
+            self.completed.push(rec);
         }
-        self.completed.push(rec);
         self.running_dec(inst);
         self.remove_cohort_member(inst, rid);
     }

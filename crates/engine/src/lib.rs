@@ -51,7 +51,9 @@ pub use control::{ClosedLoopConfig, ControlAction, ControlRecord, ControlRespons
 pub use engine::{run, run_with_churn, Engine};
 pub use memory::{DeviceKv, KvState};
 pub use metrics::{ClassStats, CompletedRequest, ModuleSample, RunReport, TraceSample};
-pub use policy::{Handoff, Policy, PolicyCtx, RedispatchOp, VictimAction};
+pub use policy::{
+    Handoff, KvView, Policy, PolicyCtx, RedispatchOp, RequestsView, VictimAction,
+};
 pub use request::{Phase, RunningRequest};
 pub use stage::{
     decode_stage_breakdown, fused_stage_breakdown, prefill_stage_breakdown, AttnLoad,

@@ -212,7 +212,7 @@ pub struct TelemetryBus {
     slo: Vec<SlidingWindow>,
     depths: Vec<Option<QueueDepthStat>>,
     kv: Option<KvOccupancySample>,
-    sinks: Vec<Box<dyn TelemetrySink>>,
+    sinks: Vec<Box<dyn TelemetrySink + Send>>,
     completions: u64,
 }
 
@@ -226,7 +226,7 @@ impl TelemetryBus {
                 .map(|_| SlidingWindow::new(cfg.window_secs, cfg.window_buckets))
                 .collect()
         };
-        let mut sinks: Vec<Box<dyn TelemetrySink>> = Vec::new();
+        let mut sinks: Vec<Box<dyn TelemetrySink + Send>> = Vec::new();
         if let Some(path) = &cfg.jsonl_path {
             sinks.push(Box::new(JsonlSink::create(path)?));
         }
@@ -246,7 +246,7 @@ impl TelemetryBus {
     }
 
     /// Attaches another sink (builder style).
-    pub fn with_sink(mut self, sink: Box<dyn TelemetrySink>) -> Self {
+    pub fn with_sink(mut self, sink: Box<dyn TelemetrySink + Send>) -> Self {
         self.sinks.push(sink);
         self
     }

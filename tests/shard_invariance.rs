@@ -1,0 +1,264 @@
+//! Shard-invariance property suite: the sharded simulation core
+//! (`EngineConfig::sim_shards` / `HETIS_SIM_SHARDS`) must be a pure
+//! execution strategy. For every scenario and every shard count the run
+//! must be BIT-IDENTICAL to the sequential engine — same
+//! `RunReport::digest`, same lost-token count, same control log — not
+//! merely statistically close. See DESIGN.md §P for the
+//! conservative-window protocol these tests gate.
+//!
+//! The matrices here run real systems (Hetis with both dispatch solvers,
+//! the elastic wrapper under a preemption storm, the closed control
+//! loop with telemetry attached) across shard counts {1, 2, 4, 8};
+//! shard counts beyond the component count exercise the clamp, 1
+//! exercises the sequential guard, and the storm exercises merge
+//! barriers, dirty-microbatch promotion and mid-run plan recomputation.
+
+use hetis::cluster::cluster::paper_cluster;
+use hetis::cluster::GpuType;
+use hetis::core::{DispatchSolver, HetisConfig, HetisPolicy, WorkloadProfile};
+use hetis::elastic::{elastic_hetis, frozen_hetis, ChurnScenario};
+use hetis::engine::{
+    run_with_churn, AdmissionPolicy, ClosedLoopConfig, ClusterEvent, EngineConfig, Policy,
+    RunReport,
+};
+use hetis::model::{llama_13b, llama_70b};
+use hetis::telemetry::TelemetryConfig;
+use hetis::workload::{
+    multi_tenant_trace, DatasetKind, Poisson, SloClass, TenantId, TenantSpec, Trace, TraceBuilder,
+};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn engine_cfg() -> EngineConfig {
+    EngineConfig {
+        drain_timeout: 120.0,
+        ..EngineConfig::default()
+    }
+}
+
+fn hetis_cfg(solver: DispatchSolver) -> HetisConfig {
+    HetisConfig {
+        solver,
+        ..HetisConfig::default()
+    }
+}
+
+/// Runs `make_policy()` through the trace at every shard count and
+/// asserts the full bit-identity contract against the sequential run.
+fn assert_shard_invariant<P: Policy, F: Fn() -> P>(
+    label: &str,
+    make_policy: F,
+    cluster: &hetis::cluster::Cluster,
+    model: &hetis::model::ModelSpec,
+    cfg: &EngineConfig,
+    trace: &Trace,
+    events: &[ClusterEvent],
+) -> RunReport {
+    let sequential = run_with_churn(
+        make_policy(),
+        cluster,
+        model,
+        cfg.clone(),
+        trace,
+        events,
+    );
+    for shards in SHARD_COUNTS {
+        let mut sharded_cfg = cfg.clone();
+        sharded_cfg.sim_shards = shards;
+        let sharded = run_with_churn(
+            make_policy(),
+            cluster,
+            model,
+            sharded_cfg,
+            trace,
+            events,
+        );
+        assert_eq!(
+            sharded.digest(),
+            sequential.digest(),
+            "{label}: digest diverged at sim_shards={shards}"
+        );
+        assert_eq!(
+            sharded.lost_tokens, sequential.lost_tokens,
+            "{label}: lost_tokens diverged at sim_shards={shards}"
+        );
+        assert_eq!(
+            sharded.control_log, sequential.control_log,
+            "{label}: control log diverged at sim_shards={shards}"
+        );
+        assert_eq!(
+            sharded.completed.len(),
+            sequential.completed.len(),
+            "{label}: completion count diverged at sim_shards={shards}"
+        );
+        assert_eq!(
+            sharded.events_processed, sequential.events_processed,
+            "{label}: event count diverged at sim_shards={shards}"
+        );
+    }
+    sequential
+}
+
+/// Hetis on the multi-instance Llama-13B layout, both dispatch solvers.
+/// This is the slo_mix-style configuration whose CI pins already
+/// reproduce sharded; here the whole shard-count matrix is asserted.
+#[test]
+fn hetis_serving_is_shard_invariant_under_both_solvers() {
+    let cluster = paper_cluster();
+    let model = llama_13b();
+    let trace = TraceBuilder::new(DatasetKind::ShareGpt, 77).build(&Poisson::new(6.0), 20.0);
+    let profile = WorkloadProfile::for_cluster(DatasetKind::ShareGpt, &cluster, &model, 0.3);
+    for solver in [DispatchSolver::WaterFill, DispatchSolver::Simplex] {
+        let mut cfg = engine_cfg();
+        cfg.prefill_chunk_tokens = Some(512);
+        cfg.admission = AdmissionPolicy::SloSlack;
+        let report = assert_shard_invariant(
+            &format!("hetis/{solver:?}"),
+            || HetisPolicy::new(hetis_cfg(solver), profile),
+            &cluster,
+            &model,
+            &cfg,
+            &trace,
+            &[],
+        );
+        assert!(!report.completed.is_empty(), "scenario must do real work");
+    }
+}
+
+/// The elastic preemption storm: merge barriers for every churn event,
+/// dirty-microbatch promotion while devices die mid-flight, drain
+/// re-dispatches planned inside windows, and plan recomputation after
+/// replans reshape the worker pools.
+#[test]
+fn elastic_storm_is_shard_invariant() {
+    let cluster = paper_cluster();
+    let model = llama_70b();
+    let profile = WorkloadProfile::for_cluster(DatasetKind::ShareGpt, &cluster, &model, 0.3);
+    let scenario = ChurnScenario::preemption_storm(
+        &cluster,
+        DatasetKind::ShareGpt,
+        4242,
+        2.0,
+        45.0,
+        GpuType::P100,
+        15.0,
+        5.0,
+        10.0,
+        Some(15.0),
+        2.0,
+    );
+    let cfg = engine_cfg();
+    let elastic = assert_shard_invariant(
+        "elastic_storm/hetis+elastic",
+        || elastic_hetis(hetis_cfg(DispatchSolver::WaterFill), profile),
+        &cluster,
+        &model,
+        &cfg,
+        &scenario.trace,
+        &scenario.events,
+    );
+    assert!(
+        !elastic.replans.is_empty(),
+        "the storm must actually trigger replans for this test to bite"
+    );
+    let frozen = assert_shard_invariant(
+        "elastic_storm/hetis+frozen",
+        || frozen_hetis(hetis_cfg(DispatchSolver::WaterFill), profile),
+        &cluster,
+        &model,
+        &cfg,
+        &scenario.trace,
+        &scenario.events,
+    );
+    assert!(frozen.churn_evictions > 0 || frozen.lost_tokens > 0);
+}
+
+/// Telemetry-on sharding: flow events and completions produced inside
+/// windows are captured and replayed in sequential order, so the bus —
+/// and through the closed loop, the *behavior* — must stay bit-identical.
+/// The closed loop turns telemetry into actuation, so any replay-order
+/// slip would show up as a diverging control log, not just a cosmetic
+/// snapshot difference.
+#[test]
+fn closed_loop_with_telemetry_is_shard_invariant() {
+    let cluster = paper_cluster();
+    let model = llama_13b();
+    let specs = [
+        TenantSpec::steady(
+            TenantId(0),
+            DatasetKind::ShareGpt,
+            SloClass::Interactive,
+            6.0,
+        )
+        .with_burst(15.0, 10.0, 3.0),
+        TenantSpec::steady(TenantId(1), DatasetKind::LongBench, SloClass::Batch, 2.0),
+    ];
+    let trace = multi_tenant_trace(&specs, 4242, 40.0);
+    let profile = WorkloadProfile::for_cluster(DatasetKind::ShareGpt, &cluster, &model, 0.3);
+    let mut cfg = engine_cfg();
+    cfg.prefill_chunk_tokens = Some(512);
+    cfg.admission = AdmissionPolicy::SloSlack;
+    cfg.fused_microbatches = true;
+    cfg.telemetry = Some(TelemetryConfig {
+        window_secs: 15.0,
+        sample_period: 0.25,
+        ..TelemetryConfig::default()
+    });
+    cfg.closed_loop = Some(ClosedLoopConfig::default());
+    let report = assert_shard_invariant(
+        "closed_loop",
+        || elastic_hetis(hetis_cfg(DispatchSolver::WaterFill), profile),
+        &cluster,
+        &model,
+        &cfg,
+        &trace,
+        &[],
+    );
+    assert!(
+        !report.control_log.is_empty(),
+        "the loop must actuate for the control-log comparison to bite"
+    );
+}
+
+/// Nondeterminism stress: the same sharded run repeated back-to-back on
+/// real threads must produce exactly one unique digest. A data race or
+/// scheduling-order leak in the window coordinator shows up here as a
+/// second digest long before it would corrupt a pin.
+#[test]
+fn repeated_sharded_storm_has_one_unique_digest() {
+    let cluster = paper_cluster();
+    let model = llama_70b();
+    let profile = WorkloadProfile::for_cluster(DatasetKind::ShareGpt, &cluster, &model, 0.3);
+    let scenario = ChurnScenario::preemption_storm(
+        &cluster,
+        DatasetKind::ShareGpt,
+        4242,
+        2.0,
+        45.0,
+        GpuType::P100,
+        15.0,
+        5.0,
+        10.0,
+        Some(15.0),
+        2.0,
+    );
+    let mut cfg = engine_cfg();
+    cfg.sim_shards = 4;
+    let digests: std::collections::HashSet<u64> = (0..5)
+        .map(|_| {
+            scenario
+                .run(
+                    elastic_hetis(hetis_cfg(DispatchSolver::WaterFill), profile),
+                    &cluster,
+                    &model,
+                    cfg.clone(),
+                )
+                .digest()
+        })
+        .collect();
+    assert_eq!(
+        digests.len(),
+        1,
+        "sharded runs must be deterministic across repetitions: {digests:x?}"
+    );
+}
