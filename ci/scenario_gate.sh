@@ -2,7 +2,8 @@
 # Scenario behavior gate: digest pinning + bench-regression smoke.
 #
 # Runs scenario_slo_mix, scenario_elastic_churn, scenario_closed_loop,
-# and the fig8/fig9/fig10 quick sweeps under BOTH dispatch solver modes,
+# scenario_prefix_reuse, and the fig8/fig9/fig10 quick sweeps under BOTH
+# dispatch solver modes,
 # plus a HETIS_SIM_SHARDS=4 sharded smoke of two scenarios, and fails
 # when
 #   1. any per-system behavior digest drifts from ci/pinned_digests.tsv
@@ -24,6 +25,7 @@ mkdir -p "$outdir"
 
 for solver in waterfill simplex; do
   for bench in scenario_slo_mix scenario_elastic_churn scenario_closed_loop \
+               scenario_prefix_reuse \
                fig8_e2e_llama13b fig9_e2e_opt30b fig10_e2e_llama70b; do
     echo "== $bench (HETIS_DISPATCH_SOLVER=$solver)"
     HETIS_DISPATCH_SOLVER=$solver cargo bench --bench "$bench" \
@@ -64,6 +66,7 @@ for solver in waterfill simplex; do
     "$outdir/scenario_slo_mix.$solver.out" \
     "$outdir/scenario_elastic_churn.$solver.out" \
     "$outdir/scenario_closed_loop.$solver.out" \
+    "$outdir/scenario_prefix_reuse.$solver.out" \
     "$outdir/fig8_e2e_llama13b.$solver.out" \
     "$outdir/fig9_e2e_opt30b.$solver.out" \
     "$outdir/fig10_e2e_llama70b.$solver.out" \
@@ -108,6 +111,7 @@ while IFS=$'\t' read -r scenario system floor; do
     slo_mix) out="$outdir/scenario_slo_mix.waterfill.out" ;;
     elastic_storm) out="$outdir/scenario_elastic_churn.waterfill.out" ;;
     closed_loop) out="$outdir/scenario_closed_loop.waterfill.out" ;;
+    prefix_reuse) out="$outdir/scenario_prefix_reuse.waterfill.out" ;;
     slo_mix@shards4) out="$outdir/scenario_slo_mix.waterfill.sharded4.out" ;;
     elastic_storm@shards4) out="$outdir/scenario_elastic_churn.waterfill.sharded4.out" ;;
     *) echo "unknown scenario '$scenario' in floors file" >&2; fail=1; continue ;;

@@ -720,6 +720,7 @@ mod tests {
             requests: hetis_engine::RequestsView::single(&requests),
             topology: &topo,
             prefill_chunk_tokens: None,
+            prefix: hetis_engine::PrefixView::Empty,
         };
         let view = HealthView::new(full_health(&c));
         let plan = ctl
@@ -841,6 +842,7 @@ mod tests {
             requests: hetis_engine::RequestsView::single(&requests),
             topology: &topo,
             prefill_chunk_tokens: None,
+            prefix: hetis_engine::PrefixView::Empty,
         };
         let (ideal, evaluated) =
             ideal_search(&c, &accepting, &ctx, &profile, &HetisConfig::default())

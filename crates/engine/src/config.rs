@@ -86,12 +86,24 @@ pub struct EngineConfig {
     /// sequential engine; `> 1` runs device-disjoint instance groups on
     /// real threads inside conservative windows, falling back to the
     /// sequential path whenever the scenario cannot shard safely
-    /// (`kernel_jitter > 0`, a policy without [`crate::Policy::fork`],
-    /// phase-coupled topologies, or a single connected component). The
+    /// (a policy without [`crate::Policy::fork`], phase-coupled
+    /// topologies, or a single connected component; kernel jitter is
+    /// fine — its RNG is pre-split per instance). The
     /// `HETIS_SIM_SHARDS` environment variable overrides this at
     /// [`crate::engine::run`] time. Behavior digests are bit-identical
     /// for any shard count.
     pub sim_shards: usize,
+    /// Radix-keyed prefix/KV reuse (automatic prefix caching). When on,
+    /// a finished request's KV stays probe-able in *free* pool memory
+    /// keyed by its session turn; a returning turn that extends that
+    /// context routes to the holding instance, re-admits only the cold
+    /// suffix (warm full blocks skip both the chunk-prefill iterations
+    /// and their KV reservations — `RunReport::prefix_hit_tokens`), and
+    /// shares the warm bytes copy-free. Cached entries are evicted
+    /// oldest-first per device whenever live allocations need the
+    /// memory, so reuse never displaces live KV. `false` (the default)
+    /// is bit-identical to the pre-reuse engine.
+    pub prefix_reuse: bool,
 }
 
 impl Default for EngineConfig {
@@ -111,6 +123,7 @@ impl Default for EngineConfig {
             telemetry: None,
             closed_loop: None,
             sim_shards: 1,
+            prefix_reuse: false,
         }
     }
 }
@@ -131,5 +144,6 @@ mod tests {
         assert_eq!(c.admission, AdmissionPolicy::Fifo);
         assert!(c.telemetry.is_none(), "telemetry is opt-in");
         assert!(c.closed_loop.is_none(), "closed loop is opt-in");
+        assert!(!c.prefix_reuse, "prefix reuse is opt-in");
     }
 }

@@ -242,8 +242,22 @@ macro_rules! ctx {
             requests: crate::policy::RequestsView::single(&$self.requests),
             topology: &$self.topo,
             prefill_chunk_tokens: $self.cfg.prefill_chunk_tokens,
+            prefix: if $self.cfg.prefix_reuse {
+                crate::policy::PrefixView::Single(&$self.prefix)
+            } else {
+                crate::policy::PrefixView::Empty
+            },
         }
     };
+}
+
+/// Per-instance kernel-jitter streams: stream `i` depends only on
+/// `(seed, i)`, never on instance count or draw interleaving, so shard
+/// groups and husk engines reproduce the sequential draws exactly.
+fn per_instance_jitter(seed: u64, instances: usize) -> Vec<SplitMix64> {
+    (0..instances as u64)
+        .map(|i| SplitMix64::new(seed ^ (i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        .collect()
 }
 
 /// The serving-engine simulator. Construct with [`run`] unless a test
@@ -259,7 +273,11 @@ pub struct Engine<'a, P: Policy> {
     instances: Vec<InstanceState>,
     events: EventQueue<Event>,
     clock: Clock,
-    jitter: SplitMix64,
+    /// Kernel-jitter RNG, pre-split per instance: stream `i` is seeded
+    /// from `(cfg.seed, i)` only, so a shard group draws exactly the
+    /// values the sequential engine would for its instances and jittered
+    /// runs stay bit-identical at any shard count.
+    jitter: Vec<SplitMix64>,
     migration: MigrationStream,
     trace_requests: Vec<hetis_workload::Request>,
     last_arrival: f64,
@@ -289,6 +307,22 @@ pub struct Engine<'a, P: Policy> {
     fused_iterations: u64,
     kv_growths: u64,
     kv_grow_failures: u64,
+    /// Session-keyed warm-KV index ([`crate::prefix`]); only ever
+    /// populated when `cfg.prefix_reuse` is set — otherwise every probe,
+    /// registration and affinity check is gated off and the engine is
+    /// bit-identical to one built before the cache existed.
+    prefix: crate::prefix::PrefixCache,
+    /// Admission-time cache probes (a waiting turn whose predecessor
+    /// key was looked up; not digested, like `events_processed`).
+    prefix_probes: u64,
+    /// Probes that found a usable warm prefix and admitted with it.
+    prefix_hits: u64,
+    /// Prompt tokens skipped across all hits (never entered a prefill
+    /// chunk — the paper-facing compute saving).
+    prefix_hit_tokens: u64,
+    /// KV bytes adopted warm across all hits (reserved without a
+    /// prefill writing them — the memory-traffic saving).
+    shared_kv_bytes: u64,
     /// Streaming telemetry bus (`None` = disabled; every tap is a no-op
     /// and no event/ring/aggregator exists — the zero-cost contract).
     telemetry: Option<TelemetryBus>,
@@ -468,7 +502,7 @@ impl<'a, P: Policy> Engine<'a, P> {
         let mut engine = Engine {
             cluster,
             model,
-            jitter: SplitMix64::new(cfg.seed),
+            jitter: per_instance_jitter(cfg.seed, topo.instances.len()),
             cfg,
             policy,
             topo,
@@ -501,6 +535,11 @@ impl<'a, P: Policy> Engine<'a, P> {
             fused_iterations: 0,
             kv_growths: 0,
             kv_grow_failures: 0,
+            prefix: crate::prefix::PrefixCache::new(cluster.len()),
+            prefix_probes: 0,
+            prefix_hits: 0,
+            prefix_hit_tokens: 0,
+            shared_kv_bytes: 0,
             telemetry,
             sampling_pending,
             shard_external_pending: 0,
@@ -810,6 +849,10 @@ impl<'a, P: Policy> Engine<'a, P> {
             fused_iterations: self.fused_iterations,
             kv_growths: self.kv_growths,
             kv_grow_failures: self.kv_grow_failures,
+            prefix_probes: self.prefix_probes,
+            prefix_hits: self.prefix_hits,
+            prefix_hit_tokens: self.prefix_hit_tokens,
+            shared_kv_bytes: self.shared_kv_bytes,
             telemetry_dropped,
             telemetry,
             control_log: self.control_log,
@@ -821,9 +864,37 @@ impl<'a, P: Policy> Engine<'a, P> {
     fn on_arrival(&mut self, idx: usize) {
         let req = self.trace_requests[idx];
         // Route before registering the request so load-based policies do
-        // not see the arrival itself as resident load.
-        let inst = self.route_surviving(req, 0);
+        // not see the arrival itself as resident load. Prefix affinity
+        // wins over the policy: the warm KV only exists on the instance
+        // that served the previous turn (the policy's routing cursor is
+        // not advanced for affinity-routed arrivals — mirrored by the
+        // sharded coordinator's `thin_arrival`).
+        let inst = match self.prefix_affinity(&req, |s, t| self.prefix.get(s, t)) {
+            Some(inst) => inst,
+            None => self.route_surviving(req, 0),
+        };
         self.admit_routed(req, inst);
+    }
+
+    /// The instance holding a warm prefix for `req`'s session, when
+    /// prefix reuse is on, the previous turn's entry exists (looked up
+    /// via `get` — the sharded coordinator probes across group caches)
+    /// and that instance can still serve. `None` falls through to
+    /// policy routing.
+    fn prefix_affinity<'g>(
+        &self,
+        req: &hetis_workload::Request,
+        get: impl Fn(u64, u32) -> Option<&'g crate::prefix::PrefixEntry>,
+    ) -> Option<usize> {
+        if !self.cfg.prefix_reuse {
+            return None;
+        }
+        let st = req.session?;
+        if st.turn == 0 {
+            return None;
+        }
+        let e = get(st.session, st.turn - 1)?;
+        (self.topo.instances[e.instance].role != InstanceRole::Down).then_some(e.instance)
     }
 
     /// Admission tail of an arrival, after routing picked `inst`. Split
@@ -1146,8 +1217,12 @@ impl<'a, P: Policy> Engine<'a, P> {
     }
 
     /// Prunes `dev` from every attention-worker list and downs instances
-    /// whose primary TP group contains it.
+    /// whose primary TP group contains it. Cached prefixes are dropped
+    /// wholesale: warm KV on a dead device is gone, and the reshaped
+    /// worker pools may invalidate any cached placement (deterministic —
+    /// deaths are barrier events in both execution modes).
     fn enforce_device_death(&mut self, dev: DeviceId) {
+        self.prefix.clear();
         for inst in self.topo.instances.iter_mut() {
             for s in inst.stages.iter_mut() {
                 s.attention_workers.retain(|&d| d != dev);
@@ -1357,6 +1432,10 @@ impl<'a, P: Policy> Engine<'a, P> {
             new_i.role = old_i.role;
         }
         self.topo = new;
+        // Reshaped worker pools can invalidate cached prefix placements;
+        // drop them wholesale (replans are barrier events in both
+        // execution modes, so this is deterministic at any shard count).
+        self.prefix.clear();
     }
 
     /// Slowdown factor of a stage's primary TP group (prefill path).
@@ -1535,6 +1614,61 @@ impl<'a, P: Policy> Engine<'a, P> {
     /// request whose growth fails after the victim loop is recompute-
     /// preempted and requeued — never silently truncated. Atomic prefill
     /// keeps the legacy full-prompt reservation bit-for-bit.
+    /// Probes the prefix cache for admission candidate `rid` on `inst`.
+    /// Returns the hit's cache key and warm token count — the prompt
+    /// span whose KV is adopted without recompute — or `None` on any
+    /// miss condition. Only first-admission, never-preempted turns
+    /// probe: a recompute preemption regrows the whole context, and the
+    /// cached entry only matches the original prompt bytes.
+    ///
+    /// The probe runs the lazy pressure sweep first: cached prefixes
+    /// live in *free* memory, so a device whose free pool shrank below
+    /// its cached total has physically overwritten the oldest entries
+    /// (per-device scoping keeps shard groups — device-disjoint by
+    /// construction — bit-identical to the sequential sweep).
+    fn probe_prefix(&mut self, rid: RequestId, inst: usize) -> Option<((u64, u32), u32)> {
+        if !self.cfg.prefix_reuse {
+            return None;
+        }
+        let (st, eff) = {
+            let r = &self.requests[&rid];
+            if r.prefilled != 0 || r.preemptions != 0 || r.placement.is_some() {
+                return None;
+            }
+            (r.req.session?, r.effective_input)
+        };
+        if st.turn == 0 {
+            return None;
+        }
+        let key = (st.session, st.turn - 1);
+        self.prefix_probes += 1;
+        let devices: Vec<DeviceId> = self.prefix.get(key.0, key.1)?.devices().collect();
+        for &d in &devices {
+            let free = self.kv.device(d).free_bytes();
+            self.prefix.enforce_pressure(d, free);
+        }
+        let e = self.prefix.get(key.0, key.1)?; // may have just been evicted
+        if e.instance != inst || self.topo.instances[e.instance].role == InstanceRole::Down {
+            return None;
+        }
+        if e.placement
+            .devices()
+            .iter()
+            .any(|&d| !self.health[d.index()].accepts_kv())
+        {
+            return None;
+        }
+        // Block-floor the warm span (partial blocks are recomputed, as
+        // in block-granular radix caches) and keep ≥ 1 cold token so the
+        // final chunk still runs attention and emits the first token.
+        let bs = self.cfg.block_size;
+        let warm = (e.tokens.min(eff.saturating_sub(1)) / bs) * bs;
+        if warm == 0 {
+            return None;
+        }
+        Some((key, warm))
+    }
+
     fn collect_prefill_entries(
         &mut self,
         inst: usize,
@@ -1606,6 +1740,9 @@ impl<'a, P: Policy> Engine<'a, P> {
         // longer block the queue behind them.
         let running = self.running_count(inst);
         let mut candidates: Vec<RequestId> = Vec::new();
+        // Per-candidate prefix probe result, parallel to `candidates`
+        // (`None` everywhere when reuse is off — the probe is gated).
+        let mut hits: Vec<Option<((u64, u32), u32)>> = Vec::new();
         // Closed-loop throttle: while engaged, admissions of every class
         // except the protected one are deferred back to the queue (their
         // slack keys are unchanged, so re-enqueueing restores the exact
@@ -1629,8 +1766,12 @@ impl<'a, P: Policy> Engine<'a, P> {
                         continue;
                     }
                 }
+                // A prefix hit's budget contribution is its *cold* span
+                // only — the warm prefix enters no prefill chunk.
+                let hit = self.probe_prefix(rid, inst);
                 let eff = self.requests[&rid].effective_input as u64;
-                let chunk = eff.min(chunk_cap);
+                let cold = hit.map_or(eff, |(_, warm)| eff - warm as u64);
+                let chunk = cold.min(chunk_cap);
                 if (!entries.is_empty() || !candidates.is_empty())
                     && (tokens + chunk > budget
                         || running + candidates.len() >= self.cfg.max_running)
@@ -1639,6 +1780,7 @@ impl<'a, P: Policy> Engine<'a, P> {
                 }
                 self.instances[inst].waiting.dequeue();
                 candidates.push(rid);
+                hits.push(hit);
                 tokens += chunk;
             }
         }
@@ -1656,18 +1798,40 @@ impl<'a, P: Policy> Engine<'a, P> {
         // under chunking, the whole prompt under atomic admission.
         let mut admitted: Vec<RequestId> = Vec::new();
         if !candidates.is_empty() {
+            // Joint placement covers the MISS subset only: a prefix hit's
+            // placement is pinned to the cached entry's (the warm KV
+            // physically sits on those devices — the head-group pinning
+            // constraint surfaced to policies via `PolicyCtx::prefix`).
             let pairs: Vec<(RequestId, u32)> = candidates
                 .iter()
-                .map(|&rid| (rid, self.requests[&rid].effective_input))
+                .zip(&hits)
+                .filter(|(_, h)| h.is_none())
+                .map(|(&rid, _)| (rid, self.requests[&rid].effective_input))
                 .collect();
-            let placements = self.policy.place_batch(inst, &pairs, &ctx!(self));
-            assert_eq!(placements.len(), candidates.len());
+            let mut placements = if pairs.is_empty() {
+                Vec::new()
+            } else {
+                self.policy.place_batch(inst, &pairs, &ctx!(self))
+            };
+            assert_eq!(placements.len(), pairs.len());
+            let mut miss_placements = placements.drain(..);
 
             let mut blocked_from: Option<usize> = None;
-            for (k, (rid, placement)) in candidates.iter().zip(placements).enumerate() {
-                let eff = self.requests[rid].effective_input;
+            for (k, (&rid, hit)) in candidates.iter().zip(&hits).enumerate() {
+                let eff = self.requests[&rid].effective_input;
+                let (placement, warm) = match hit {
+                    Some(((s, t), warm)) => {
+                        let e = self.prefix.get(*s, *t).expect("probed this round");
+                        (Some(e.placement.clone()), *warm)
+                    }
+                    None => (miss_placements.next().expect("miss subset aligned"), 0),
+                };
+                // A hit reserves warm + first cold chunk; a miss reserves
+                // its first chunk (incremental) or the whole prompt
+                // (atomic; a hit's cold span is its whole "prompt" there).
                 let reserve = if incremental {
-                    ((eff as u64).min(chunk_cap) as u32).saturating_add(headroom)
+                    warm.saturating_add(((eff - warm) as u64).min(chunk_cap) as u32)
+                        .saturating_add(headroom)
                 } else {
                     eff
                 };
@@ -1683,12 +1847,15 @@ impl<'a, P: Policy> Engine<'a, P> {
                         if !incremental
                             || self.placement_fits_pool(&p, inst, eff.saturating_add(headroom)) =>
                     {
-                        self.try_alloc_prompt(*rid, p, reserve)
+                        self.try_alloc_prompt(rid, p, reserve)
                     }
                     _ => false,
                 };
                 if ok {
-                    admitted.push(*rid);
+                    if let Some(((s, t), warm)) = hit {
+                        self.consume_prefix_hit(rid, inst, *s, *t, *warm);
+                    }
+                    admitted.push(rid);
                 } else {
                     blocked_from = Some(k);
                     break;
@@ -1714,17 +1881,47 @@ impl<'a, P: Policy> Engine<'a, P> {
             r.phase = Phase::Prefilling;
             r.cohort = cohort;
             r.admitted_at = Some(now);
-            let chunk = (r.effective_input as u64).min(chunk_cap);
-            entries.push((rid, chunk, 0));
+            // `prefilled` is the warm prefix for a hit (set at consume),
+            // 0 for a miss — so the first chunk is the cold remainder
+            // and its attention prior (`2·p·c`) covers the warm span.
+            let chunk = (r.remaining_prefill() as u64).min(chunk_cap);
+            let prior = r.prefilled as u64;
+            let hit_tokens = r.prefix_hit_tokens;
+            entries.push((rid, chunk, prior));
             self.instances[inst].cohorts[cohort].prefilling.push(rid);
             self.running_inc(inst);
             self.tap(FlowEventKind::Admission {
                 req: rid,
                 instance: inst as u32,
                 first_chunk_tokens: chunk as u32,
+                prefix_hit_tokens: hit_tokens,
             });
         }
         entries
+    }
+
+    /// Commits a prefix hit after its allocation succeeded: consumes the
+    /// cache entry (the follow-up turn now *owns* the warm span — its
+    /// completion will re-register the grown context), marks the warm
+    /// tokens prefilled, and accounts the skipped compute and adopted
+    /// KV bytes.
+    fn consume_prefix_hit(&mut self, rid: RequestId, inst: usize, s: u64, t: u32, warm: u32) {
+        let e = self.prefix.take(s, t).expect("probed this round");
+        let gqa = self.model.gqa_ratio();
+        let mut warm_bytes = 0u64;
+        for (stage, stage_pl) in e.placement.per_stage.iter().enumerate() {
+            let layers = self.topo.instances[inst].stages[stage].primary.layers;
+            for &(dev, heads) in stage_pl {
+                warm_bytes += self.kv.device(dev).bytes_needed(heads / gqa, warm, layers);
+            }
+        }
+        self.prefix_hits += 1;
+        self.prefix_hit_tokens += warm as u64;
+        self.shared_kv_bytes += warm_bytes;
+        let r = self.requests.get_mut(&rid).expect("live");
+        r.prefilled = warm;
+        r.prefix_hit_tokens = warm;
+        r.prefix_shared_bytes = warm_bytes;
     }
 
     /// Schedules `entries` as a pure-prefill microbatch on the cohort.
@@ -2172,7 +2369,7 @@ impl<'a, P: Policy> Engine<'a, P> {
             let lm_head = s + 1 == n;
             let b = breakdown(self, s, lm_head);
             let t = if self.cfg.kernel_jitter > 0.0 {
-                b.total * self.jitter.jitter(self.cfg.kernel_jitter)
+                b.total * self.jitter[inst].jitter(self.cfg.kernel_jitter)
             } else {
                 b.total
             };
@@ -2746,8 +2943,41 @@ impl<'a, P: Policy> Engine<'a, P> {
         } else {
             0
         };
+        // Prefix registration reads the per-device footprint before the
+        // frees too: the entry's byte vector is what a follow-up turn
+        // would re-occupy (the cache itself lives in free memory — the
+        // frees below proceed as always).
+        let reuse = if self.cfg.prefix_reuse {
+            let r = &self.requests[&rid];
+            match (r.req.session, r.placement.as_ref()) {
+                (Some(st), Some(p)) => {
+                    let bytes: Vec<(DeviceId, u64)> = p
+                        .devices()
+                        .iter()
+                        .map(|&d| (d, self.kv.device(d).request_bytes(rid)))
+                        .collect();
+                    Some((st, p.clone(), r.context_len(), bytes))
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
         for d in 0..self.kv.len() {
             self.kv.device_mut(DeviceId(d as u32)).free_request(rid);
+        }
+        if let Some((st, placement, tokens, bytes)) = reuse {
+            self.prefix.insert(
+                st.session,
+                st.turn,
+                crate::prefix::PrefixEntry {
+                    tokens,
+                    instance: inst,
+                    placement,
+                    bytes,
+                    registered: (self.clock.now(), rid),
+                },
+            );
         }
         let r = self.requests.get_mut(&rid).expect("live");
         r.phase = Phase::Done;
@@ -2777,6 +3007,8 @@ impl<'a, P: Policy> Engine<'a, P> {
             preemptions: rec.preemptions,
             redispatches: rec.redispatches,
             kv_bytes,
+            prefix_hit_tokens: r.prefix_hit_tokens,
+            prefix_shared_bytes: r.prefix_shared_bytes,
         };
         if let Some(cap) = self.capture.as_mut() {
             // Shard window: both the flow record and the completed-request

@@ -51,8 +51,7 @@
 //!
 //! # Fallbacks (always exact)
 //!
-//! `sim_shards ≤ 1`, `kernel_jitter > 0` (the jitter RNG is a single
-//! sequential stream), a policy whose [`Policy::fork`] returns `None`,
+//! `sim_shards ≤ 1`, a policy whose [`Policy::fork`] returns `None`,
 //! a topology with fewer than two device-disjoint components (including
 //! every Splitwise-style prefill/decode split, whose hand-offs cross
 //! instances), or any live request whose placement escapes its
@@ -141,7 +140,7 @@ impl<'a, P: Policy> Engine<'a, P> {
     /// express falls back to the sequential path — sharding is a pure
     /// execution strategy, never a behavior change.
     pub fn run_sharded(&mut self, shards: usize) {
-        if shards <= 1 || self.cfg.kernel_jitter > 0.0 {
+        if shards <= 1 {
             return self.run_to_completion();
         }
         let Some(mut plan) = self.compute_shard_plan(shards) else {
@@ -365,7 +364,7 @@ impl<'a, P: Policy> Engine<'a, P> {
     /// construction; the check is the safety valve for any policy that
     /// violates the contract.
     fn shard_plan_holds(&self, plan: &ShardPlan) -> bool {
-        self.requests.values().all(|r| {
+        let requests_ok = self.requests.values().all(|r| {
             if r.phase == Phase::Done {
                 return true;
             }
@@ -383,7 +382,19 @@ impl<'a, P: Policy> Engine<'a, P> {
                 && r.migration_sources
                     .iter()
                     .all(|d| plan.part_of_device[d.index()] == part)
-        })
+        });
+        // Cached prefixes carry the same invariant as live placements:
+        // an entry's bytes must stay inside its instance's component so
+        // the per-instance cache partition reproduces the sequential
+        // per-device pressure sweeps. Entries always satisfy this by
+        // construction (they are finished requests' placements, and
+        // churn/replan barriers clear the cache), so like the request
+        // check this is a safety valve, not a policy.
+        requests_ok
+            && self.prefix.iter().all(|(_, e)| {
+                let part = plan.group_of_instance[e.instance] as u32 + 1;
+                e.devices().all(|d| plan.part_of_device[d.index()] == part)
+            })
     }
 
     /// Fresh per-instance state containers (the shapes
@@ -429,9 +440,10 @@ impl<'a, P: Policy> Engine<'a, P> {
                 instances: self.husk_instances(),
                 events: EventQueue::new(),
                 clock: self.clock.clone(),
-                // Never drawn: `kernel_jitter > 0` falls back to the
-                // sequential path before groups exist.
-                jitter: SplitMix64::new(self.cfg.seed),
+                // Placeholder streams; the real per-instance streams are
+                // swapped in with the owned instances at every split, so
+                // a group draws exactly the sequential values.
+                jitter: per_instance_jitter(self.cfg.seed, self.topo.instances.len()),
                 migration: self.migration.clone(),
                 trace_requests: Vec::new(),
                 last_arrival: self.last_arrival,
@@ -456,6 +468,11 @@ impl<'a, P: Policy> Engine<'a, P> {
                 fused_iterations: 0,
                 kv_growths: 0,
                 kv_grow_failures: 0,
+                prefix: crate::prefix::PrefixCache::new(self.kv.len()),
+                prefix_probes: 0,
+                prefix_hits: 0,
+                prefix_hit_tokens: 0,
+                shared_kv_bytes: 0,
                 telemetry: None,
                 sampling_pending: 0,
                 shard_external_pending: 0,
@@ -539,6 +556,7 @@ impl<'a, P: Policy> Engine<'a, P> {
         for g in groups.iter_mut() {
             for &i in &g.claim.instances {
                 std::mem::swap(&mut self.instances[i], &mut g.engine.instances[i]);
+                std::mem::swap(&mut self.jitter[i], &mut g.engine.jitter[i]);
             }
             for &d in &g.claim.devices {
                 let d = DeviceId(d as u32);
@@ -563,6 +581,17 @@ impl<'a, P: Policy> Engine<'a, P> {
                     .requests
                     .insert(rid, r);
             }
+        }
+        // Prefix-cache entries partition exactly like requests: by the
+        // owning instance. `shard_plan_holds` already verified every
+        // entry's devices stay inside that instance's component, so a
+        // group's pressure sweeps see precisely the sequential
+        // per-device state.
+        for (key, e) in self.prefix.drain_entries() {
+            groups[plan.group_of_instance[e.instance]]
+                .engine
+                .prefix
+                .restore(key, e);
         }
         Some(base)
     }
@@ -595,6 +624,7 @@ impl<'a, P: Policy> Engine<'a, P> {
             }
             for &i in &g.claim.instances {
                 std::mem::swap(&mut self.instances[i], &mut e.instances[i]);
+                std::mem::swap(&mut self.jitter[i], &mut e.jitter[i]);
             }
             for &d in &g.claim.devices {
                 let d = DeviceId(d as u32);
@@ -617,6 +647,13 @@ impl<'a, P: Policy> Engine<'a, P> {
             self.fused_iterations += std::mem::take(&mut e.fused_iterations);
             self.kv_growths += std::mem::take(&mut e.kv_growths);
             self.kv_grow_failures += std::mem::take(&mut e.kv_grow_failures);
+            self.prefix_probes += std::mem::take(&mut e.prefix_probes);
+            self.prefix_hits += std::mem::take(&mut e.prefix_hits);
+            self.prefix_hit_tokens += std::mem::take(&mut e.prefix_hit_tokens);
+            self.shared_kv_bytes += std::mem::take(&mut e.shared_kv_bytes);
+            for (key, entry) in e.prefix.drain_entries() {
+                self.prefix.restore(key, entry);
+            }
             self.max_prefill_iter_tokens = self
                 .max_prefill_iter_tokens
                 .max(std::mem::take(&mut e.max_prefill_iter_tokens));
@@ -683,6 +720,16 @@ impl<'a, P: Policy> Engine<'a, P> {
                 std::iter::once(&self.requests)
                     .chain(groups.iter().map(|g| &g.engine.requests))
                     .collect();
+            let prefix_parts: Vec<&crate::prefix::PrefixCache> =
+                std::iter::once(&self.prefix)
+                    .chain(groups.iter().map(|g| &g.engine.prefix))
+                    .collect();
+            // Prefix affinity wins over the policy, exactly as in
+            // `Engine::on_arrival` — the lookup spans every group's
+            // cache (the coordinator's own is empty mid-window).
+            let affinity = self.prefix_affinity(&req, |s, t| {
+                prefix_parts.iter().find_map(|c| c.get(s, t))
+            });
             let ctx = PolicyCtx {
                 cluster: self.cluster,
                 model: self.model,
@@ -694,12 +741,18 @@ impl<'a, P: Policy> Engine<'a, P> {
                 requests: crate::policy::RequestsView::Sharded(&req_parts),
                 topology: &self.topo,
                 prefill_chunk_tokens: self.cfg.prefill_chunk_tokens,
+                prefix: if self.cfg.prefix_reuse {
+                    crate::policy::PrefixView::Sharded(&prefix_parts)
+                } else {
+                    crate::policy::PrefixView::Empty
+                },
             };
             // Mirror `route_surviving` with `park = 0`.
             let entries = self.topo.entry_instances();
-            match entries.first() {
-                None => 0,
-                Some(&fallback) => {
+            match (affinity, entries.first()) {
+                (Some(inst), _) => inst,
+                (None, None) => 0,
+                (None, Some(&fallback)) => {
                     let inst = self.policy.route(&req, &ctx);
                     assert!(inst < self.topo.instances.len(), "routed to unknown instance");
                     if self.topo.instances[inst].role != InstanceRole::Down {
@@ -809,6 +862,7 @@ mod tests {
                 output_len: 24 + (i % 5) as u32 * 11,
                 class: SloClass::default(),
                 tenant: TenantId(0),
+                session: None,
             })
             .collect();
         Trace::from_requests(reqs, DatasetKind::ShareGpt)

@@ -39,6 +39,7 @@ pub mod engine;
 pub mod memory;
 pub mod metrics;
 pub mod policy;
+pub mod prefix;
 pub mod request;
 pub mod stage;
 pub mod topology;
@@ -49,11 +50,12 @@ pub use churn::{
 pub use config::{AdmissionPolicy, EngineConfig};
 pub use control::{ClosedLoopConfig, ControlAction, ControlRecord, ControlResponse};
 pub use engine::{run, run_with_churn, Engine};
-pub use memory::{DeviceKv, KvState};
+pub use memory::{DeviceKv, KvAllocError, KvState};
 pub use metrics::{ClassStats, CompletedRequest, ModuleSample, RunReport, TraceSample};
 pub use policy::{
-    Handoff, KvView, Policy, PolicyCtx, RedispatchOp, RequestsView, VictimAction,
+    Handoff, KvView, Policy, PolicyCtx, PrefixView, RedispatchOp, RequestsView, VictimAction,
 };
+pub use prefix::{PrefixCache, PrefixEntry};
 pub use request::{Phase, RunningRequest};
 pub use stage::{
     decode_stage_breakdown, fused_stage_breakdown, prefill_stage_breakdown, AttnLoad,

@@ -12,6 +12,31 @@ use hetis_model::ModelSpec;
 use hetis_workload::RequestId;
 use std::collections::HashMap;
 
+/// KV allocation failure on one device: the byte pool cannot hold the
+/// operation. Carries requested vs. available bytes so admission and
+/// growth failure logs are actionable (the block allocators'
+/// `hetis_kvcache::AllocError` carries the block-count analogue; the
+/// engine is deliberately independent of the block-cache crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvAllocError {
+    /// Bytes the failing operation needed.
+    pub requested: u64,
+    /// Bytes that were free.
+    pub available: u64,
+}
+
+impl std::fmt::Display for KvAllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "KV pool exhausted: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for KvAllocError {}
+
 /// KV held by one (request, stage) on one device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KvEntry {
@@ -89,7 +114,7 @@ impl DeviceKv {
         groups: u32,
         tokens: u32,
         layers: u32,
-    ) -> Result<(), u64> {
+    ) -> Result<(), KvAllocError> {
         assert!(groups > 0 && layers > 0);
         assert!(
             !self.entries.contains_key(&(req, stage)),
@@ -101,7 +126,10 @@ impl DeviceKv {
             layers,
         };
         let bytes = self.entry_bytes(&e);
-        self.ledger.alloc_kv(bytes).map_err(|err| err.available)?;
+        self.ledger.alloc_kv(bytes).map_err(|err| KvAllocError {
+            requested: bytes,
+            available: err.available,
+        })?;
         self.entries.insert((req, stage), e);
         Ok(())
     }
@@ -122,10 +150,13 @@ impl DeviceKv {
 
     /// Appends one token to every entry of `req`. Fails without side
     /// effects when the pool is short.
-    pub fn append_token(&mut self, req: RequestId) -> Result<(), u64> {
+    pub fn append_token(&mut self, req: RequestId) -> Result<(), KvAllocError> {
         let cost = self.append_cost(req);
         if cost > 0 {
-            self.ledger.alloc_kv(cost).map_err(|e| e.available)?;
+            self.ledger.alloc_kv(cost).map_err(|e| KvAllocError {
+                requested: cost,
+                available: e.available,
+            })?;
         }
         for (_, e) in self.entries.iter_mut().filter(|&(&(r, _), _)| r == req) {
             e.tokens += 1;
@@ -152,10 +183,13 @@ impl DeviceKv {
     /// chunk, each completed chunk grows to cover the next. Entries
     /// already at or past `new_tokens` are left alone. Fails without side
     /// effects when the pool is short.
-    pub fn grow_tokens(&mut self, req: RequestId, new_tokens: u32) -> Result<(), u64> {
+    pub fn grow_tokens(&mut self, req: RequestId, new_tokens: u32) -> Result<(), KvAllocError> {
         let cost = self.grow_cost(req, new_tokens);
         if cost > 0 {
-            self.ledger.alloc_kv(cost).map_err(|e| e.available)?;
+            self.ledger.alloc_kv(cost).map_err(|e| KvAllocError {
+                requested: cost,
+                available: e.available,
+            })?;
         }
         for (_, e) in self.entries.iter_mut().filter(|&(&(r, _), _)| r == req) {
             e.tokens = e.tokens.max(new_tokens);
@@ -205,12 +239,15 @@ impl DeviceKv {
         groups: u32,
         tokens: u32,
         layers: u32,
-    ) -> Result<(), u64> {
+    ) -> Result<(), KvAllocError> {
         if let Some(e) = self.entries.get(&(req, stage)).copied() {
             assert_eq!(e.tokens, tokens, "token mismatch on grow");
             let per_group = self.blocks_for(tokens) * layers as u64 * self.block_unit;
             let bytes = per_group * groups as u64;
-            self.ledger.alloc_kv(bytes).map_err(|err| err.available)?;
+            self.ledger.alloc_kv(bytes).map_err(|err| KvAllocError {
+                requested: bytes,
+                available: err.available,
+            })?;
             self.entries.get_mut(&(req, stage)).expect("present").groups += groups;
             Ok(())
         } else {
@@ -536,6 +573,36 @@ mod tests {
         assert!(res.is_err());
         assert_eq!(s.device(p100).used_bytes(), 0);
         assert_eq!(s.device(p100).free_bytes(), free);
+    }
+
+    #[test]
+    fn alloc_error_carries_requested_and_available() {
+        let c = paper_cluster();
+        let m = llama_70b();
+        let mut weights = HashMap::new();
+        let p100 = c.devices_of_type(hetis_cluster::GpuType::P100)[0];
+        weights.insert(p100, 10_000_000_000);
+        let mut s = KvState::new(&c, &m, 16, &weights).unwrap();
+        let available = s.device(p100).free_bytes();
+        let requested = s.device(p100).bytes_needed(8, 1_000_000, 80);
+        assert!(requested > available, "setup must exhaust the pool");
+        let err = s
+            .device_mut(p100)
+            .allocate(RequestId(1), 0, 8, 1_000_000, 80)
+            .unwrap_err();
+        assert_eq!(err, KvAllocError { requested, available });
+        assert!(err.to_string().contains(&format!("{requested} bytes")));
+        // Growth failures report the *delta* they asked for.
+        s.device_mut(p100)
+            .allocate(RequestId(1), 0, 8, 64, 80)
+            .unwrap();
+        let delta = s.device(p100).grow_cost(RequestId(1), 1_000_000);
+        let err = s
+            .device_mut(p100)
+            .grow_tokens(RequestId(1), 1_000_000)
+            .unwrap_err();
+        assert_eq!(err.requested, delta);
+        assert_eq!(err.available, s.device(p100).free_bytes());
     }
 
     #[test]

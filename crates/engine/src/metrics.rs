@@ -189,6 +189,21 @@ pub struct RunReport {
     /// Not digested (the eviction itself is visible in the digested
     /// per-request preemption counts).
     pub kv_grow_failures: u64,
+    /// Admission-time prefix-cache probes (waiting session turns whose
+    /// predecessor key was looked up; 0 unless
+    /// `EngineConfig::prefix_reuse`). A mechanics counter, not digested
+    /// — but note `prefill_tokens` IS behavior-visible: reuse-on runs
+    /// prefill only the cold tokens, so they pin their own digests.
+    pub prefix_probes: u64,
+    /// Probes whose warm prefix was consumed by a successful admission.
+    /// Not digested.
+    pub prefix_hits: u64,
+    /// Prompt tokens adopted warm across all hits — compute the engine
+    /// never spent re-prefilling replayed context. Not digested.
+    pub prefix_hit_tokens: u64,
+    /// KV bytes adopted warm across all hits — reservation traffic the
+    /// prefill never wrote. Not digested.
+    pub shared_kv_bytes: u64,
     /// Telemetry events overwritten on ring wrap (0 when telemetry is
     /// disabled or the ring never filled). An observability-mechanics
     /// counter, not digested (same policy as `events_processed`).
@@ -252,6 +267,16 @@ impl RunReport {
     /// events.
     pub fn total_replan_latency(&self) -> f64 {
         self.replans.iter().map(|r| r.replan_latency).sum()
+    }
+
+    /// Fraction of prefix probes whose warm prefix was consumed by an
+    /// admission (0 when nothing probed — reuse off or no sessions).
+    pub fn prefix_hit_rate(&self) -> f64 {
+        if self.prefix_probes == 0 {
+            0.0
+        } else {
+            self.prefix_hits as f64 / self.prefix_probes as f64
+        }
     }
 
     /// Completions of one SLO class.
@@ -532,6 +557,10 @@ mod tests {
             fused_iterations: 0,
             kv_growths: 0,
             kv_grow_failures: 0,
+            prefix_probes: 0,
+            prefix_hits: 0,
+            prefix_hit_tokens: 0,
+            shared_kv_bytes: 0,
             telemetry_dropped: 0,
             telemetry: None,
             control_log: vec![],

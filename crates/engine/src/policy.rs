@@ -8,6 +8,7 @@
 
 use crate::config::EngineConfig;
 use crate::memory::{DeviceKv, KvState};
+use crate::prefix::{PrefixCache, PrefixEntry};
 use crate::request::RunningRequest;
 use crate::topology::{HeadPlacement, Topology};
 use hetis_cluster::{Cluster, DeviceId};
@@ -150,6 +151,58 @@ impl std::ops::Index<&RequestId> for RequestsView<'_> {
     }
 }
 
+/// Read-only view over the engine's prefix cache(s) — the session-keyed
+/// warm-KV index of [`crate::prefix::PrefixCache`], exposed so policies
+/// can see the *head-group pinning constraint*: a request whose session
+/// predecessor is cached will be admitted with the cached placement
+/// verbatim (the warm KV physically sits on those devices), so its head
+/// groups are pinned and `place_batch` is never consulted for it.
+/// Routing policies can likewise use [`PrefixView::get`] to keep a
+/// follow-up turn on the instance that holds its warm prefix.
+#[derive(Clone, Copy)]
+pub enum PrefixView<'a> {
+    /// No prefix information (reuse disabled, or a context built outside
+    /// the engine, e.g. controller tests).
+    Empty,
+    /// One engine's cache (the hot path).
+    Single(&'a PrefixCache),
+    /// Per-shard-group caches in group-rank order; a session's entry
+    /// lives in exactly one part (caches partition by instance, and a
+    /// session's turns stay on one instance while its entry survives).
+    Sharded(&'a [&'a PrefixCache]),
+}
+
+impl<'a> PrefixView<'a> {
+    /// View over a single engine's cache.
+    #[inline]
+    pub fn single(cache: &'a PrefixCache) -> Self {
+        PrefixView::Single(cache)
+    }
+
+    /// Looks up the cached prefix of `(session, turn)` across all parts.
+    pub fn get(&self, session: u64, turn: u32) -> Option<&'a PrefixEntry> {
+        match *self {
+            PrefixView::Empty => None,
+            PrefixView::Single(c) => c.get(session, turn),
+            PrefixView::Sharded(parts) => parts.iter().find_map(|c| c.get(session, turn)),
+        }
+    }
+
+    /// Total cached prefixes across parts.
+    pub fn len(&self) -> usize {
+        match *self {
+            PrefixView::Empty => 0,
+            PrefixView::Single(c) => c.len(),
+            PrefixView::Sharded(parts) => parts.iter().map(|c| c.len()).sum(),
+        }
+    }
+
+    /// True when no prefix is cached anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Read-only view of engine state handed to policy hooks.
 pub struct PolicyCtx<'a> {
     /// The cluster.
@@ -169,6 +222,10 @@ pub struct PolicyCtx<'a> {
     /// load a long prompt contributes, while sizing KV for the full
     /// prompt.
     pub prefill_chunk_tokens: Option<u64>,
+    /// The engine's prefix cache(s) ([`PrefixView::Empty`] when prefix
+    /// reuse is off). A hit pins a request's head groups to the cached
+    /// placement's devices — see [`PrefixView`].
+    pub prefix: PrefixView<'a>,
 }
 
 /// Post-prefill hand-off decision (Splitwise).
@@ -519,6 +576,7 @@ mod tests {
             requests: RequestsView::single(&requests),
             topology: &topo,
             prefill_chunk_tokens: None,
+            prefix: PrefixView::Empty,
         };
         let r = Request {
             id: RequestId(0),
@@ -527,6 +585,7 @@ mod tests {
             output_len: 5,
             class: Default::default(),
             tenant: Default::default(),
+            session: None,
         };
         assert_eq!(p.route(&r, &ctx), 0);
         assert_eq!(p.route(&r, &ctx), 1);

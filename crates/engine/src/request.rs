@@ -60,6 +60,13 @@ pub struct RunningRequest {
     pub placement: Option<HeadPlacement>,
     /// True while the request sits inside an in-flight microbatch.
     pub in_flight: bool,
+    /// Warm prompt tokens adopted from the prefix cache at admission
+    /// (0 for a cold admission; informational — kept across a later
+    /// preemption, whose recompute re-prefills the warm span too).
+    pub prefix_hit_tokens: u32,
+    /// KV bytes the admission adopted warm (reserved without a prefill
+    /// writing them); the flow record carries both at completion.
+    pub prefix_shared_bytes: u64,
     /// Number of preemptions suffered (stats).
     pub preemptions: u32,
     /// Number of re-dispatches applied (stats).
@@ -90,6 +97,8 @@ impl RunningRequest {
             admitted_at: None,
             placement: None,
             in_flight: false,
+            prefix_hit_tokens: 0,
+            prefix_shared_bytes: 0,
             preemptions: 0,
             redispatches: 0,
             migration_epoch: 0,
@@ -154,6 +163,7 @@ mod tests {
             output_len: 10,
             class: Default::default(),
             tenant: Default::default(),
+            session: None,
         }
     }
 

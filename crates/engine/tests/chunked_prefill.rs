@@ -148,6 +148,7 @@ fn slack_admission_overtakes_queued_batch_work() {
         output_len: 8,
         class,
         tenant: TenantId(0),
+        session: None,
     };
     // One long batch prompt occupies the first iteration; behind it a
     // second batch prompt (earlier) and an interactive turn (later) queue

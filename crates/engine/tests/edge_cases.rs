@@ -56,6 +56,7 @@ fn single_token_outputs_complete_at_prefill() {
             output_len: 1,
             class: Default::default(),
             tenant: Default::default(),
+            session: None,
         })
         .collect();
     let trace = Trace::from_requests(requests, DatasetKind::ShareGpt);

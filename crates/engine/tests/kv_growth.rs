@@ -144,6 +144,7 @@ fn overlap_trace(residents: u64, long_input: u32) -> Trace {
             output_len: 400,
             class: SloClass::Interactive,
             tenant: TenantId(0),
+            session: None,
         })
         .collect();
     requests.push(Request {
@@ -153,6 +154,7 @@ fn overlap_trace(residents: u64, long_input: u32) -> Trace {
         output_len: 8,
         class: SloClass::Batch,
         tenant: TenantId(1),
+        session: None,
     });
     Trace::from_requests(requests, DatasetKind::ShareGpt)
 }
@@ -231,6 +233,7 @@ fn growth_failure_eviction_balances_allocator() {
             output_len: 64,
             class: SloClass::Batch,
             tenant: TenantId(0),
+            session: None,
         })
         .collect();
     let trace = Trace::from_requests(requests, DatasetKind::LongBench);
@@ -277,6 +280,7 @@ fn long_prompt_peak_kv_drops_under_incremental_growth() {
             output_len: 4,
             class: SloClass::Batch,
             tenant: TenantId(0),
+            session: None,
         })
         .collect();
     let trace = Trace::from_requests(requests, DatasetKind::LongBench);
@@ -337,6 +341,7 @@ fn never_fitting_prompt_stays_queued_without_thrash() {
         output_len: 8,
         class: SloClass::Batch,
         tenant: TenantId(0),
+        session: None,
     }];
     let trace = Trace::from_requests(requests, DatasetKind::LongBench);
     let mk = |chunk: Option<u64>| {
@@ -380,6 +385,7 @@ fn decode_headroom_prepays_first_appends() {
         output_len: 64,
         class: SloClass::Interactive,
         tenant: TenantId(0),
+        session: None,
     }];
     let trace = Trace::from_requests(requests, DatasetKind::ShareGpt);
     let cfg = EngineConfig {

@@ -18,15 +18,22 @@
 //! [`migration`] plans partial cache moves between placements, reusing the
 //! overlap between old and new head distributions (§5.3's "opportunistic
 //! cache reuse").
+//!
+//! [`prefix`] is the radix-keyed prefix index for automatic prefix
+//! caching: block-granular token-id prefixes map to resident blocks, and
+//! both allocators refcount shared blocks with copy-on-write on first
+//! write — a block only returns to the pool at refcount zero.
 
 pub mod block;
 pub mod headwise;
 pub mod index;
 pub mod migration;
 pub mod paged;
+pub mod prefix;
 
 pub use block::{BlockConfig, BlockId, SeqId};
 pub use headwise::{GroupId, HeadwiseAllocator};
 pub use index::{build_fetch_index_parallel, build_fetch_index_serial, FetchIndex};
 pub use migration::{plan_migration, MoveOp, Placement};
 pub use paged::{AllocError, PagedAllocator};
+pub use prefix::PrefixIndex;

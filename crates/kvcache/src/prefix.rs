@@ -1,0 +1,215 @@
+//! Radix-keyed prefix index: block-granular token-id prefixes → resident
+//! blocks.
+//!
+//! The index is the lookup half of automatic prefix caching (vLLM's APC,
+//! SGLang's RadixAttention): every *full* block of a registered sequence
+//! is keyed by the chain hash of all token ids up to and including that
+//! block, so two sequences that share a prefix hash to the same keys and
+//! can share the underlying blocks. Chain hashing collapses the radix
+//! tree walk to one `HashMap` lookup per block — a probe is O(prefix
+//! blocks), an insert is O(sequence blocks), and divergence anywhere
+//! inside a block changes that block's key and every key after it.
+//!
+//! The index holds no refcounts itself: block lifetime lives in the
+//! allocators ([`crate::paged::PagedAllocator`],
+//! [`crate::headwise::HeadwiseAllocator`]), which count sharers and only
+//! reclaim a block at refcount zero. When an allocator does reclaim an
+//! indexed block the owner must call [`PrefixIndex::invalidate_block`];
+//! a probe stops at the first missing key, so invalidating a mid-chain
+//! entry safely truncates every longer prefix through it.
+
+use crate::block::BlockId;
+use std::collections::HashMap;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fold(mut h: u64, v: u64) -> u64 {
+    for byte in v.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Maps chain-hashed block-granular token-id prefixes to resident blocks.
+#[derive(Debug, Clone)]
+pub struct PrefixIndex {
+    block_size: u32,
+    /// chain key → the block caching that prefix's last `block_size` tokens.
+    nodes: HashMap<u64, BlockId>,
+    /// Reverse map for O(1) invalidation when a block is reclaimed.
+    owners: HashMap<BlockId, u64>,
+}
+
+impl PrefixIndex {
+    /// An empty index over blocks of `block_size` tokens.
+    pub fn new(block_size: u32) -> Self {
+        assert!(block_size > 0, "block_size must be positive");
+        PrefixIndex {
+            block_size,
+            nodes: HashMap::new(),
+            owners: HashMap::new(),
+        }
+    }
+
+    /// Tokens per block key.
+    pub fn block_size(&self) -> u32 {
+        self.block_size
+    }
+
+    /// Indexed block entries.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Chain keys of every full-block prefix of `tokens`, in order.
+    pub fn keys_of(&self, tokens: &[u32]) -> Vec<u64> {
+        let bs = self.block_size as usize;
+        let mut keys = Vec::with_capacity(tokens.len() / bs);
+        let mut h = FNV_OFFSET;
+        for chunk in tokens.chunks_exact(bs) {
+            for &t in chunk {
+                h = fold(h, t as u64);
+            }
+            keys.push(h);
+        }
+        keys
+    }
+
+    /// Longest indexed prefix of `tokens`: the resident blocks covering
+    /// its leading full blocks, stopping at the first miss. The trailing
+    /// partial block is never matched (its key would change as it fills).
+    pub fn probe(&self, tokens: &[u32]) -> Vec<BlockId> {
+        let mut hit = Vec::new();
+        for key in self.keys_of(tokens) {
+            match self.nodes.get(&key) {
+                Some(&b) => hit.push(b),
+                None => break,
+            }
+        }
+        hit
+    }
+
+    /// Registers every full-block prefix of `tokens`, backed by the
+    /// sequence's `blocks` (block `i` caches tokens
+    /// `[i·block_size, (i+1)·block_size)`). Keys already present keep
+    /// their existing block — first registration wins, so sharers all
+    /// converge on one physical copy. Returns entries newly added.
+    pub fn insert(&mut self, tokens: &[u32], blocks: &[BlockId]) -> usize {
+        let mut added = 0;
+        for (i, key) in self.keys_of(tokens).into_iter().enumerate() {
+            let Some(&block) = blocks.get(i) else { break };
+            if self.nodes.contains_key(&key) {
+                continue;
+            }
+            self.nodes.insert(key, block);
+            self.owners.insert(block, key);
+            added += 1;
+        }
+        added
+    }
+
+    /// Drops the entry backed by `block` (the allocator reclaimed it, or
+    /// CoW retired the shared copy). Probes through the dropped prefix
+    /// now stop there. Returns whether an entry existed.
+    pub fn invalidate_block(&mut self, block: BlockId) -> bool {
+        match self.owners.remove(&block) {
+            Some(key) => {
+                self.nodes.remove(&key);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.owners.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(n: u32) -> Vec<u32> {
+        (0..n).collect()
+    }
+
+    fn blocks(ids: &[u32]) -> Vec<BlockId> {
+        ids.iter().map(|&i| BlockId(i)).collect()
+    }
+
+    #[test]
+    fn probe_matches_longest_full_block_prefix() {
+        let mut idx = PrefixIndex::new(4);
+        // 10 tokens → 2 full blocks indexed; the partial third is not.
+        idx.insert(&toks(10), &blocks(&[7, 8, 9]));
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.probe(&toks(10)), blocks(&[7, 8]));
+        // A longer prompt with the same head matches the same 2 blocks.
+        assert_eq!(idx.probe(&toks(64)), blocks(&[7, 8]));
+        // Shorter than one block: nothing to match.
+        assert_eq!(idx.probe(&toks(3)), Vec::<BlockId>::new());
+    }
+
+    #[test]
+    fn divergence_inside_a_block_misses_from_there() {
+        let mut idx = PrefixIndex::new(4);
+        idx.insert(&toks(12), &blocks(&[1, 2, 3]));
+        let mut forked = toks(12);
+        forked[5] = 999; // inside block 1
+        assert_eq!(idx.probe(&forked), blocks(&[1]));
+        forked[0] = 999; // inside block 0
+        assert_eq!(idx.probe(&forked), Vec::<BlockId>::new());
+    }
+
+    #[test]
+    fn first_registration_wins() {
+        let mut idx = PrefixIndex::new(4);
+        assert_eq!(idx.insert(&toks(8), &blocks(&[1, 2])), 2);
+        // A second sequence with the same tokens but different blocks
+        // does not displace the canonical copy.
+        assert_eq!(idx.insert(&toks(8), &blocks(&[5, 6])), 0);
+        assert_eq!(idx.probe(&toks(8)), blocks(&[1, 2]));
+    }
+
+    #[test]
+    fn invalidate_truncates_longer_prefixes() {
+        let mut idx = PrefixIndex::new(4);
+        idx.insert(&toks(16), &blocks(&[1, 2, 3, 4]));
+        assert!(idx.invalidate_block(BlockId(2)));
+        assert!(!idx.invalidate_block(BlockId(2)));
+        // Probe stops at the hole even though blocks 3, 4 are indexed.
+        assert_eq!(idx.probe(&toks(16)), blocks(&[1]));
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn evict_then_reinsert_is_deterministic() {
+        let mut idx = PrefixIndex::new(4);
+        idx.insert(&toks(8), &blocks(&[1, 2]));
+        let before = idx.probe(&toks(8));
+        idx.invalidate_block(BlockId(1));
+        idx.invalidate_block(BlockId(2));
+        assert!(idx.probe(&toks(8)).is_empty());
+        // Re-registering after eviction restores the exact mapping.
+        idx.insert(&toks(8), &blocks(&[1, 2]));
+        assert_eq!(idx.probe(&toks(8)), before);
+    }
+
+    #[test]
+    fn insert_truncated_by_short_block_list() {
+        let mut idx = PrefixIndex::new(4);
+        // Only one block supplied for two full blocks of tokens.
+        assert_eq!(idx.insert(&toks(8), &blocks(&[9])), 1);
+        assert_eq!(idx.probe(&toks(8)), blocks(&[9]));
+    }
+}

@@ -400,6 +400,8 @@ mod tests {
             preemptions: 0,
             redispatches: 0,
             kv_bytes: 256,
+            prefix_hit_tokens: 0,
+            prefix_shared_bytes: 0,
         }
     }
 

@@ -39,8 +39,11 @@ pub enum FlowEventKind {
         /// Admitting instance.
         instance: u32,
         /// Tokens of its first prefill chunk (the whole effective prompt
-        /// under atomic admission).
+        /// under atomic admission; the cold remainder on a prefix hit).
         first_chunk_tokens: u32,
+        /// Warm prompt tokens adopted from the engine's prefix cache at
+        /// this admission (0 for cold admissions and when reuse is off).
+        prefix_hit_tokens: u32,
     },
     /// One prefill chunk of a request finished (atomic prefills publish
     /// exactly one with `prior_tokens == 0`).

@@ -38,6 +38,11 @@ pub struct FlowCompletion {
     pub redispatches: u32,
     /// KV bytes resident across all devices just before release.
     pub kv_bytes: u64,
+    /// Warm prompt tokens adopted from the engine's prefix cache at
+    /// admission (0 for cold admissions and when reuse is off).
+    pub prefix_hit_tokens: u32,
+    /// KV bytes the admission adopted warm instead of prefilling.
+    pub prefix_shared_bytes: u64,
 }
 
 /// One finished request's flow record. Timestamps the bus never observed
@@ -77,6 +82,11 @@ pub struct FlowRecord {
     pub redispatches: u32,
     /// KV bytes resident at completion.
     pub kv_bytes: u64,
+    /// Warm prompt tokens adopted from the engine's prefix cache at
+    /// admission (0 for cold admissions and when reuse is off).
+    pub prefix_hit_tokens: u32,
+    /// KV bytes the admission adopted warm instead of prefilling.
+    pub prefix_shared_bytes: u64,
 }
 
 impl FlowRecord {
@@ -105,7 +115,8 @@ impl FlowRecord {
                 "\"arrival\":{},\"admitted\":{},\"first_chunk\":{},\"first_token\":{},",
                 "\"completion\":{},\"input_len\":{},\"output_len\":{},",
                 "\"prefill_chunks\":{},\"max_chunk_tokens\":{},",
-                "\"preemptions\":{},\"redispatches\":{},\"kv_bytes\":{}}}"
+                "\"preemptions\":{},\"redispatches\":{},\"kv_bytes\":{},",
+                "\"prefix_hit_tokens\":{},\"prefix_shared_bytes\":{}}}"
             ),
             self.req.0,
             self.class.name(),
@@ -123,6 +134,8 @@ impl FlowRecord {
             self.preemptions,
             self.redispatches,
             self.kv_bytes,
+            self.prefix_hit_tokens,
+            self.prefix_shared_bytes,
         )
     }
 }
@@ -215,6 +228,8 @@ impl FlowTable {
             preemptions: done.preemptions,
             redispatches: done.redispatches,
             kv_bytes: done.kv_bytes,
+            prefix_hit_tokens: done.prefix_hit_tokens,
+            prefix_shared_bytes: done.prefix_shared_bytes,
         }
     }
 }
@@ -238,6 +253,8 @@ mod tests {
             preemptions: 0,
             redispatches: 1,
             kv_bytes: 4096,
+            prefix_hit_tokens: 0,
+            prefix_shared_bytes: 0,
         }
     }
 
@@ -260,6 +277,7 @@ mod tests {
                 req: rid,
                 instance: 1,
                 first_chunk_tokens: 64,
+                prefix_hit_tokens: 0,
             },
         });
         t.observe(&chunk(1.2, 64));

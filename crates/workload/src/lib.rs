@@ -20,12 +20,14 @@ pub mod arrivals;
 pub mod datasets;
 pub mod dist;
 pub mod request;
+pub mod sessions;
 pub mod slo;
 pub mod trace;
 
 pub use arrivals::{ArrivalProcess, PiecewiseRate, Poisson};
 pub use datasets::{Dataset, DatasetKind};
 pub use dist::{Distribution, LogNormal, TruncatedLogNormal, Uniform};
-pub use request::{Request, RequestId};
+pub use request::{Request, RequestId, SessionTurn};
+pub use sessions::{multi_turn_trace, SessionWorkload};
 pub use slo::{multi_tenant_trace, SloClass, SloTarget, TenantId, TenantSpec};
 pub use trace::{Trace, TraceBuilder};

@@ -12,6 +12,18 @@ impl std::fmt::Display for RequestId {
     }
 }
 
+/// Identity of one turn of a returning session, for prefix/KV reuse:
+/// turn `t`'s prompt replays the *entire* context (prompt + completion)
+/// of turn `t - 1` and appends new user tokens, so an engine holding
+/// turn `t - 1`'s cache can skip prefilling the replayed prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionTurn {
+    /// Stable session identity across the trace.
+    pub session: u64,
+    /// Zero-based turn number within the session.
+    pub turn: u32,
+}
+
 /// One inference request as the serving system sees it.
 ///
 /// `output_len` is the *ground-truth* generation length (how many tokens
@@ -35,6 +47,10 @@ pub struct Request {
     pub class: SloClass,
     /// Issuing tenant (tenant 0 for single-tenant traces).
     pub tenant: TenantId,
+    /// Multi-turn session tag (`None` for single-shot traffic). When
+    /// `Some`, the prompt's leading tokens replay the previous turn's
+    /// full context — what the prefix-reuse path can serve from cache.
+    pub session: Option<SessionTurn>,
 }
 
 impl Request {
@@ -65,6 +81,7 @@ mod tests {
             output_len: 20,
             class: SloClass::default(),
             tenant: TenantId::default(),
+            session: None,
         };
         assert_eq!(r.context_len(0), 100);
         assert_eq!(r.context_len(5), 105);

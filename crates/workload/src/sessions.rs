@@ -1,0 +1,198 @@
+//! Multi-turn chat sessions: the workload that prefix/KV reuse serves.
+//!
+//! A session is a sequence of turns by one user. Turn `t`'s prompt is the
+//! *entire* context of turn `t - 1` (its prompt plus its completion)
+//! followed by the user's new message, so the leading tokens of every
+//! non-first turn are byte-identical to content the engine has already
+//! prefilled. An engine with prefix caching can skip recomputing (and
+//! re-reserving KV for) that replayed prefix; one without it pays the
+//! full quadratic prefill on every turn.
+//!
+//! Turns are spaced by exponential "think time" gaps — the user reads the
+//! response, thinks, and types. Whether a gap is long enough for the
+//! previous turn to have *finished* (and thus registered its KV for
+//! reuse) is the serving system's problem, not the trace's: the trace
+//! only promises token-level replay, tagged via [`SessionTurn`].
+
+use crate::datasets::{Dataset, DatasetKind};
+use crate::request::{Request, RequestId, SessionTurn};
+use crate::slo::{SloClass, TenantId};
+use crate::trace::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a multi-turn session workload.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionWorkload {
+    /// Number of concurrent conversation sessions.
+    pub sessions: usize,
+    /// Turns per session (≥ 1; 1 degenerates to single-shot traffic).
+    pub turns: u32,
+    /// Mean Poisson rate of *new session* starts, sessions/second.
+    pub session_rate: f64,
+    /// Mean think-time gap between a turn's arrival and the next turn of
+    /// the same session, seconds (exponentially distributed).
+    pub mean_think: f64,
+    /// Length distribution for first prompts and for each turn's new user
+    /// message + completion.
+    pub dataset: DatasetKind,
+    /// SLO class applied to every turn (chat turns are
+    /// [`SloClass::Interactive`] in the experiments).
+    pub class: SloClass,
+}
+
+/// Builds a multi-turn trace: each session draws lengths and think gaps
+/// from an independent seeded RNG (derived from `seed` and the session
+/// id, so adding a session never reshuffles the others), session starts
+/// follow a Poisson process, and the merged stream is sorted by arrival
+/// with globally sequential ids. Turn `t > 0` carries
+/// `input = input(t-1) + output(t-1) + new_user_tokens`, tagged
+/// [`SessionTurn`] `{session, turn}`.
+pub fn multi_turn_trace(spec: &SessionWorkload, seed: u64) -> Trace {
+    assert!(spec.turns >= 1, "a session has at least one turn");
+    assert!(spec.session_rate > 0.0 && spec.mean_think >= 0.0);
+    let sampler = Dataset::of(spec.dataset);
+    // Session start instants: exponential interarrivals from a stream
+    // independent of every per-session stream.
+    let mut start_rng = StdRng::seed_from_u64(seed.wrapping_mul(0x85EB_CA6B).wrapping_add(3));
+    let mut all = Vec::with_capacity(spec.sessions * spec.turns as usize);
+    let mut start = 0.0f64;
+    for s in 0..spec.sessions as u64 {
+        let u: f64 = start_rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        start += -u.ln() / spec.session_rate;
+        let session_seed = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(s + 1);
+        let mut rng = StdRng::seed_from_u64(session_seed);
+        let mut arrival = start;
+        let mut context: u64 = 0; // tokens the previous turns accumulated
+        for t in 0..spec.turns {
+            if t > 0 {
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                arrival += -u.ln() * spec.mean_think;
+            }
+            let (new_user, output_len) = sampler.sample_lengths(&mut rng);
+            let input_len = (context + new_user as u64).min(u32::MAX as u64) as u32;
+            all.push(Request {
+                id: RequestId(0), // renumbered after the merge sort
+                arrival,
+                input_len,
+                output_len,
+                class: spec.class,
+                tenant: TenantId::default(),
+                session: Some(SessionTurn { session: s, turn: t }),
+            });
+            context = input_len as u64 + output_len as u64;
+        }
+    }
+    // Deterministic total order: arrival, then session/turn (ties across
+    // independent streams are measure-zero but guarded anyway).
+    all.sort_by(|a, b| {
+        a.arrival
+            .partial_cmp(&b.arrival)
+            .expect("finite arrivals")
+            .then(a.session.cmp(&b.session))
+    });
+    for (i, r) in all.iter_mut().enumerate() {
+        r.id = RequestId(i as u64);
+    }
+    Trace::from_requests(all, spec.dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn spec() -> SessionWorkload {
+        SessionWorkload {
+            sessions: 6,
+            turns: 4,
+            session_rate: 0.5,
+            mean_think: 8.0,
+            dataset: DatasetKind::ShareGpt,
+            class: SloClass::Interactive,
+        }
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = multi_turn_trace(&spec(), 11);
+        let b = multi_turn_trace(&spec(), 11);
+        let c = multi_turn_trace(&spec(), 12);
+        assert_eq!(a.requests(), b.requests());
+        assert_ne!(a.requests(), c.requests());
+    }
+
+    #[test]
+    fn sorted_with_sequential_ids_and_tags() {
+        let t = multi_turn_trace(&spec(), 7);
+        assert_eq!(t.len(), 6 * 4);
+        assert!(t.requests().windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        for (i, r) in t.requests().iter().enumerate() {
+            assert_eq!(r.id, RequestId(i as u64));
+            assert_eq!(r.class, SloClass::Interactive);
+            let st = r.session.expect("every turn is tagged");
+            assert!(st.session < 6 && st.turn < 4);
+        }
+    }
+
+    #[test]
+    fn turns_replay_the_previous_context() {
+        let t = multi_turn_trace(&spec(), 3);
+        let mut by_session: BTreeMap<u64, Vec<&Request>> = BTreeMap::new();
+        for r in t.requests() {
+            by_session.entry(r.session.unwrap().session).or_default().push(r);
+        }
+        for (_, turns) in by_session {
+            assert_eq!(turns.len(), 4);
+            for (t_idx, pair) in turns.windows(2).enumerate() {
+                let (prev, next) = (pair[0], pair[1]);
+                assert_eq!(prev.session.unwrap().turn, t_idx as u32);
+                assert_eq!(next.session.unwrap().turn, t_idx as u32 + 1);
+                // Turn t+1 replays turn t's full context and adds a
+                // non-empty user message.
+                assert!(next.input_len > prev.input_len + prev.output_len);
+                assert!(next.arrival >= prev.arrival);
+            }
+        }
+    }
+
+    #[test]
+    fn adding_sessions_never_reshuffles_existing_ones() {
+        let small = multi_turn_trace(&spec(), 5);
+        let big = multi_turn_trace(
+            &SessionWorkload {
+                sessions: 9,
+                ..spec()
+            },
+            5,
+        );
+        // Per-session (input, output, turn) streams match; arrivals of
+        // session s are identical because start instants come from a
+        // separate stream consumed in session order.
+        for r in small.requests() {
+            let st = r.session.unwrap();
+            let twin = big
+                .requests()
+                .iter()
+                .find(|q| q.session == Some(st))
+                .expect("session survives");
+            assert_eq!((twin.input_len, twin.output_len), (r.input_len, r.output_len));
+            assert_eq!(twin.arrival, r.arrival);
+        }
+    }
+
+    #[test]
+    fn single_turn_sessions_are_single_shot() {
+        let t = multi_turn_trace(
+            &SessionWorkload {
+                turns: 1,
+                ..spec()
+            },
+            2,
+        );
+        assert_eq!(t.len(), 6);
+        assert!(t.requests().iter().all(|r| r.session.unwrap().turn == 0));
+    }
+}

@@ -90,6 +90,7 @@ impl TraceBuilder {
                     output_len,
                     class: crate::slo::SloClass::default(),
                     tenant: crate::slo::TenantId::default(),
+                    session: None,
                 }
             })
             .collect();

@@ -54,6 +54,7 @@ fn main() {
             output_len: 6 + (i % 7) as u32 * 2,
             class: SloClass::default(),
             tenant: TenantId(0),
+            session: None,
         })
         .collect();
     let trace = Trace::from_requests(requests, DatasetKind::ShareGpt);
