@@ -177,7 +177,8 @@ impl HexgenPolicy {
 }
 
 /// Maps instance-0's searched shape onto every DP instance's own devices.
-fn replicate_shape(
+/// Shared with the Helix search, which enumerates the same shape space.
+pub(crate) fn replicate_shape(
     cluster: &Cluster,
     instances: &[Vec<hetis_parallel::TypeGroup>],
     shape: &InstanceConfig,

@@ -1,4 +1,4 @@
-//! Splitwise and HexGen baselines on the shared serving engine.
+//! Splitwise, HexGen, and Helix baselines on the shared serving engine.
 //!
 //! The paper compares Hetis against two heterogeneity-aware systems
 //! (§7.1), both re-implemented here as engine policies on the identical
@@ -12,13 +12,22 @@
 //!   layer assignments are searched once to balance iteration time, then
 //!   never change.
 //!
-//! Both use stage-local head placement (no dynamic attention
+//! PAPERS.md adds the strongest *global-routing* competitor:
+//!
+//! * [`helix::HelixPolicy`] — max-flow request routing (Mei et al., arXiv
+//!   2406.01566): the cluster + link model becomes an integer-capacity
+//!   flow network (Edmonds–Karp), placement maximizes the max-flow value,
+//!   and requests follow a static flow-weighted routing plan.
+//!
+//! All three use stage-local head placement (no dynamic attention
 //! parallelism) and plain LIFO preemption, exactly the behaviors whose
 //! limitations §2.3 dissects.
 
 pub mod common;
+pub mod helix;
 pub mod hexgen;
 pub mod splitwise;
 
+pub use helix::{FlowNetwork, HelixPlanner, HelixPolicy, RoutePlan};
 pub use hexgen::HexgenPolicy;
 pub use splitwise::SplitwisePolicy;

@@ -1,0 +1,156 @@
+//! Property-based tests for the Helix max-flow planner.
+//!
+//! Two layers of coverage:
+//!
+//! * **Random layered networks** — flow conservation at every interior
+//!   node, per-edge capacity respect, and max-flow dominance over the
+//!   greedy (no-cancellation) feasible flow, on seeded random layered
+//!   DAGs of arbitrary widths and capacities.
+//! * **Planner-built networks** — the same invariants on the networks
+//!   [`HelixPlanner`] constructs from seeded random heterogeneous
+//!   clusters, plus the plan accounting identity (per-instance rates sum
+//!   to the max-flow value) and positivity.
+
+use hetis_baselines::{FlowNetwork, HelixPlanner, HelixPolicy};
+use hetis_cluster::{Cluster, ClusterBuilder, GpuType};
+use hetis_model::llama_13b;
+use proptest::prelude::*;
+
+/// Builds a fully connected layered DAG: source → layer 0 → … → layer
+/// k−1 → sink, consuming capacities round-robin from `caps`.
+fn layered(widths: &[usize], caps: &[u64]) -> (FlowNetwork, usize, usize) {
+    let mut net = FlowNetwork::new(2);
+    let (s, t) = (0, 1);
+    let layers: Vec<Vec<usize>> = widths
+        .iter()
+        .map(|&w| (0..w).map(|_| net.add_node()).collect())
+        .collect();
+    let mut ci = 0usize;
+    let mut cap = || {
+        let c = caps[ci % caps.len()];
+        ci += 1;
+        c
+    };
+    for &v in &layers[0] {
+        let c = cap();
+        net.add_edge(s, v, c);
+    }
+    for pair in layers.windows(2) {
+        for &u in &pair[0] {
+            for &v in &pair[1] {
+                let c = cap();
+                net.add_edge(u, v, c);
+            }
+        }
+    }
+    for &u in layers.last().expect("at least one layer") {
+        let c = cap();
+        net.add_edge(u, t, c);
+    }
+    (net, s, t)
+}
+
+/// Asserts conservation and capacity respect for a solved network.
+fn check_flow_invariants(
+    net: &FlowNetwork,
+    s: usize,
+    t: usize,
+    value: u64,
+) -> Result<(), TestCaseError> {
+    for (e, _, _, cap, flow) in net.forward_edges() {
+        prop_assert!(flow <= cap, "edge {e}: flow {flow} exceeds capacity {cap}");
+    }
+    for node in 0..net.nodes() {
+        let net_out = net.net_flow(node);
+        if node == s {
+            prop_assert_eq!(net_out, value as i128, "source emits the flow value");
+        } else if node == t {
+            prop_assert_eq!(net_out, -(value as i128), "sink absorbs the flow value");
+        } else {
+            prop_assert_eq!(net_out, 0, "conservation violated at node {}", node);
+        }
+    }
+    Ok(())
+}
+
+/// A seeded random heterogeneous cluster that can always host Llama-13B:
+/// at least one A100 host, plus optional 3090 and P100 hosts.
+fn random_cluster(a100s: usize, rtxs: usize, p100s: usize) -> Cluster {
+    let mut b = ClusterBuilder::new().host(&vec![GpuType::A100; a100s]);
+    if rtxs > 0 {
+        b = b.host(&vec![GpuType::Rtx3090; rtxs]);
+    }
+    if p100s > 0 {
+        b = b.host(&vec![GpuType::P100; p100s]);
+    }
+    b.build()
+}
+
+proptest! {
+    /// Max flow on a random layered network conserves flow at every
+    /// interior node and respects every capacity.
+    #[test]
+    fn layered_flow_conserves_and_respects_capacities(
+        widths in proptest::collection::vec(1usize..4, 2..5),
+        caps in proptest::collection::vec(1u64..40, 32),
+    ) {
+        let (mut net, s, t) = layered(&widths, &caps);
+        let value = net.max_flow(s, t);
+        prop_assert!(value > 0, "fully connected positive capacities must flow");
+        check_flow_invariants(&net, s, t, value)?;
+    }
+
+    /// The true max flow dominates the greedy feasible flow (forward
+    /// residuals only, no cancellation) on the same network — and the
+    /// greedy flow is itself feasible.
+    #[test]
+    fn max_flow_dominates_any_greedy_feasible_flow(
+        widths in proptest::collection::vec(1usize..4, 2..5),
+        caps in proptest::collection::vec(1u64..40, 32),
+    ) {
+        let (mut maxed, s, t) = layered(&widths, &caps);
+        let (mut greedy, ..) = layered(&widths, &caps);
+        let best = maxed.max_flow(s, t);
+        let lower = greedy.greedy_flow(s, t);
+        prop_assert!(
+            best >= lower,
+            "max flow {} below a greedy feasible flow {}", best, lower
+        );
+        check_flow_invariants(&greedy, s, t, lower)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The planner's flow network over a searched placement on a random
+    /// heterogeneous cluster satisfies the same invariants, and the plan
+    /// read off it accounts exactly: Σ per-instance rate = max flow > 0.
+    #[test]
+    fn planner_networks_conserve_on_random_clusters(
+        a100s in 1usize..4,
+        rtxs in 0usize..4,
+        p100s in 0usize..4,
+    ) {
+        let cluster = random_cluster(a100s, rtxs, p100s);
+        let model = llama_13b();
+        let topo = HelixPolicy::search(&cluster, &model);
+        let (mut net, s, t, entry_arcs) =
+            HelixPlanner::build_network(&cluster, &model, &topo);
+        let value = net.max_flow(s, t);
+        check_flow_invariants(&net, s, t, value)?;
+
+        let plan = HelixPlanner::plan(&cluster, &model, &topo);
+        prop_assert_eq!(plan.total_rate, value, "plan must read the same solve");
+        prop_assert!(plan.total_rate > 0, "a hosted model must sustain flow");
+        let summed: u64 = plan.instance_rate.iter().sum();
+        prop_assert_eq!(summed, plan.total_rate, "per-instance rates must account");
+        prop_assert_eq!(plan.instance_rate.len(), entry_arcs.len());
+        // And the planner's max flow dominates the greedy flow on its own
+        // network, too.
+        let (mut greedy_net, gs, gt, _) =
+            HelixPlanner::build_network(&cluster, &model, &topo);
+        let lower = greedy_net.greedy_flow(gs, gt);
+        prop_assert!(value >= lower);
+    }
+}

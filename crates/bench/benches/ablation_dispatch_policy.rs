@@ -10,7 +10,7 @@
 use hetis_cluster::cluster::paper_cluster;
 use hetis_cluster::{attn_decode_time, AttnWork, GpuType};
 use hetis_core::{Dispatcher, HetisConfig, Profiler};
-use hetis_engine::{KvState, StageTopo, KvView};
+use hetis_engine::{KvState, KvView, StageTopo};
 use hetis_model::{llama_70b, KvFootprint};
 use hetis_parallel::StageConfig;
 use std::collections::HashMap;

@@ -2,14 +2,14 @@
 //! attention-class GPU while the request rate spikes, then the capacity
 //! rejoins. Compares Hetis with live re-planning (`hetis+elastic`)
 //! against the no-replan ablation (`hetis+frozen`) and the static
-//! baselines.
+//! baselines, including Helix's max-flow-planned routing.
 //!
 //! Prints one TSV row per system plus a determinism check (same seed run
 //! twice ⇒ identical `RunReport` digest). Exits non-zero if the elastic
 //! controller does not sustain a strictly lower p99 normalized latency
 //! than the frozen baseline.
 
-use hetis_baselines::{HexgenPolicy, SplitwisePolicy};
+use hetis_baselines::{HelixPolicy, HexgenPolicy, SplitwisePolicy};
 use hetis_bench::{
     bench_engine_config, bench_hetis_config, bench_profile_for, f, tsv_header, Scale,
 };
@@ -66,6 +66,7 @@ fn main() {
             ),
             "hexgen" => scenario.run(HexgenPolicy::new(), &cluster, &model, cfg.clone()),
             "splitwise" => scenario.run(SplitwisePolicy::new(), &cluster, &model, cfg.clone()),
+            "helix" => scenario.run(HelixPolicy::new(), &cluster, &model, cfg.clone()),
             _ => unreachable!(),
         }
     };
@@ -88,7 +89,13 @@ fn main() {
 
     let mut p99_elastic = f64::INFINITY;
     let mut p99_frozen = f64::INFINITY;
-    for which in ["hetis+elastic", "hetis+frozen", "hexgen", "splitwise"] {
+    for which in [
+        "hetis+elastic",
+        "hetis+frozen",
+        "hexgen",
+        "splitwise",
+        "helix",
+    ] {
         let wall_start = std::time::Instant::now();
         let report = run_named(which);
         let wall = wall_start.elapsed().as_secs_f64();

@@ -633,7 +633,14 @@ mod tests {
     fn head_counts_are_group_multiples() {
         let (cluster, model, kv, stage, d) = setup();
         let out = d
-            .dispatch(&cluster, &model, KvView::single(&kv), &stage, 0, &[700, 1400, 300])
+            .dispatch(
+                &cluster,
+                &model,
+                KvView::single(&kv),
+                &stage,
+                0,
+                &[700, 1400, 300],
+            )
             .unwrap();
         for per_req in &out.heads {
             assert_eq!(per_req.iter().sum::<u32>(), 64);
@@ -677,7 +684,8 @@ mod tests {
                 .allocate(hetis_workload::RequestId(q), 0, 8, 3000, 80)
                 .unwrap();
         }
-        let (current, bottleneck) = d.current_attention_time(&cluster, &model, KvView::single(&kv), &stage, 0);
+        let (current, bottleneck) =
+            d.current_attention_time(&cluster, &model, KvView::single(&kv), &stage, 0);
         let ideal = d
             .ideal_attention_time(&cluster, &model, KvView::single(&kv), &stage, 0)
             .unwrap();
@@ -690,7 +698,9 @@ mod tests {
     #[test]
     fn empty_batch_trivial() {
         let (cluster, model, kv, stage, d) = setup();
-        let out = d.dispatch(&cluster, &model, KvView::single(&kv), &stage, 0, &[]).unwrap();
+        let out = d
+            .dispatch(&cluster, &model, KvView::single(&kv), &stage, 0, &[])
+            .unwrap();
         assert!(out.heads.is_empty());
         let (t, dev) = d.current_attention_time(&cluster, &model, KvView::single(&kv), &stage, 0);
         assert_eq!(t, 0.0);

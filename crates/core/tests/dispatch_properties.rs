@@ -5,7 +5,7 @@
 use hetis_cluster::cluster::paper_cluster;
 use hetis_cluster::GpuType;
 use hetis_core::{Dispatcher, HetisConfig, Profiler};
-use hetis_engine::{KvState, StageTopo, KvView};
+use hetis_engine::{KvState, KvView, StageTopo};
 use hetis_model::llama_70b;
 use hetis_parallel::StageConfig;
 use hetis_workload::RequestId;

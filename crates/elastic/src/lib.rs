@@ -28,6 +28,13 @@
 //! * [`ChurnScenario`] — trace + churn schedule generated together from
 //!   one seed, including the headline *preemption storm* (all devices of
 //!   one class revoked inside a window while the request rate spikes).
+//! * [`CostMeter`] / [`AcquisitionPolicy`] — the economics axis: a
+//!   deterministic spot-price trace (`hetis_workload::PriceTrace`) priced
+//!   against every capacity acquisition. The controller classes `Join`
+//!   replacements spot vs on-demand; after the run the meter replays the
+//!   same schedule into a `CostReport` (per-class dollars,
+//!   `cost_per_in_slo_token`) attached to the `RunReport` — a pure
+//!   billing overlay that never perturbs the simulation.
 //!
 //! The engine-side halves (device health, forced eviction of lost KV,
 //! Down instances, `replan_latency` / `lost_tokens` accounting in
@@ -38,11 +45,16 @@
 pub mod churn;
 pub mod closed_loop;
 pub mod controller;
+pub mod cost;
 pub mod policy;
 pub mod scenario;
 
 pub use churn::{ChurnProcess, ClassRates};
 pub use closed_loop::ClosedLoopController;
 pub use controller::{ElasticConfig, ElasticController, ReplanPlan, TopologyDiff};
+pub use cost::{
+    AcquisitionClass, AcquisitionPolicy, AcquisitionRecord, BilledInterval, BillingLedger,
+    CostMeter,
+};
 pub use policy::{elastic_hetis, frozen_hetis, ElasticPolicy};
 pub use scenario::ChurnScenario;

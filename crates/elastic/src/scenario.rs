@@ -2,6 +2,7 @@
 //! schedule, built together so one seed reproduces the whole experiment.
 
 use crate::churn::ChurnProcess;
+use crate::cost::CostMeter;
 use hetis_cluster::{Cluster, GpuType};
 use hetis_engine::{run_with_churn, ClusterEvent, EngineConfig, Policy, RunReport};
 use hetis_model::ModelSpec;
@@ -94,6 +95,27 @@ impl ChurnScenario {
         cfg: EngineConfig,
     ) -> RunReport {
         run_with_churn(policy, cluster, model, cfg, &self.trace, &self.events)
+    }
+
+    /// Runs a policy through the scenario and bills it: the meter replays
+    /// the same churn schedule against its spot-price trace and attaches
+    /// a [`hetis_engine::CostReport`] (dollars split spot/on-demand and
+    /// per GPU class, acquisition counts, `cost_per_in_slo_token`) to the
+    /// report. Billing is a pure post-run replay — the serving behavior,
+    /// and hence everything else in the report, is identical to
+    /// [`ChurnScenario::run`]; only the digest moves, because it folds
+    /// the attached cost block.
+    pub fn run_priced<P: Policy>(
+        &self,
+        policy: P,
+        cluster: &Cluster,
+        model: &ModelSpec,
+        cfg: EngineConfig,
+        meter: &CostMeter,
+    ) -> RunReport {
+        let mut report = self.run(policy, cluster, model, cfg);
+        meter.attach(cluster, &self.events, self.horizon, &mut report);
+        report
     }
 }
 

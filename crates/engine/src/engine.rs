@@ -856,6 +856,9 @@ impl<'a, P: Policy> Engine<'a, P> {
             telemetry_dropped,
             telemetry,
             control_log: self.control_log,
+            // Cost accounting is attached post-run by a cost meter (the
+            // engine itself never bills anything).
+            cost: None,
         }
     }
 

@@ -283,9 +283,12 @@ impl<'a, P: Policy> Engine<'a, P> {
         }
         // Phase-split roles hand requests across instances after
         // prefill, which a window cannot express.
-        if self.topo.instances.iter().any(|i| {
-            matches!(i.role, InstanceRole::PrefillOnly | InstanceRole::DecodeOnly)
-        }) {
+        if self
+            .topo
+            .instances
+            .iter()
+            .any(|i| matches!(i.role, InstanceRole::PrefillOnly | InstanceRole::DecodeOnly))
+        {
             return None;
         }
         let dcount = self.kv.len();
@@ -550,7 +553,9 @@ impl<'a, P: Policy> Engine<'a, P> {
         // after everything already queued anywhere.
         let base = self.events.next_seq();
         for (gi, g) in groups.iter_mut().enumerate() {
-            g.engine.events.raise_seq_floor(base + ((gi as u64 + 1) << 32));
+            g.engine
+                .events
+                .raise_seq_floor(base + ((gi as u64 + 1) << 32));
         }
         // Hand the owned state over and refresh barrier-mutable context.
         for g in groups.iter_mut() {
@@ -673,7 +678,7 @@ impl<'a, P: Policy> Engine<'a, P> {
         }
         // Renumber window-scheduled events in global key order onto the
         // coordinator counter (see module docs on sequence numbering).
-        window_events.sort_unstable_by(|a, b| (a.at, a.seq).cmp(&(b.at, b.seq)));
+        window_events.sort_unstable_by_key(|e| (e.at, e.seq));
         for se in window_events {
             self.events.schedule(se.at, se.event);
         }
@@ -720,16 +725,14 @@ impl<'a, P: Policy> Engine<'a, P> {
                 std::iter::once(&self.requests)
                     .chain(groups.iter().map(|g| &g.engine.requests))
                     .collect();
-            let prefix_parts: Vec<&crate::prefix::PrefixCache> =
-                std::iter::once(&self.prefix)
-                    .chain(groups.iter().map(|g| &g.engine.prefix))
-                    .collect();
+            let prefix_parts: Vec<&crate::prefix::PrefixCache> = std::iter::once(&self.prefix)
+                .chain(groups.iter().map(|g| &g.engine.prefix))
+                .collect();
             // Prefix affinity wins over the policy, exactly as in
             // `Engine::on_arrival` — the lookup spans every group's
             // cache (the coordinator's own is empty mid-window).
-            let affinity = self.prefix_affinity(&req, |s, t| {
-                prefix_parts.iter().find_map(|c| c.get(s, t))
-            });
+            let affinity =
+                self.prefix_affinity(&req, |s, t| prefix_parts.iter().find_map(|c| c.get(s, t)));
             let ctx = PolicyCtx {
                 cluster: self.cluster,
                 model: self.model,
@@ -754,7 +757,10 @@ impl<'a, P: Policy> Engine<'a, P> {
                 (None, None) => 0,
                 (None, Some(&fallback)) => {
                     let inst = self.policy.route(&req, &ctx);
-                    assert!(inst < self.topo.instances.len(), "routed to unknown instance");
+                    assert!(
+                        inst < self.topo.instances.len(),
+                        "routed to unknown instance"
+                    );
                     if self.topo.instances[inst].role != InstanceRole::Down {
                         inst
                     } else {
@@ -965,12 +971,7 @@ mod tests {
             fn name(&self) -> String {
                 self.0.name()
             }
-            fn topology(
-                &mut self,
-                c: &Cluster,
-                m: &ModelSpec,
-                cfg: &EngineConfig,
-            ) -> Topology {
+            fn topology(&mut self, c: &Cluster, m: &ModelSpec, cfg: &EngineConfig) -> Topology {
                 self.0.topology(c, m, cfg)
             }
             fn route(&mut self, r: &hetis_workload::Request, ctx: &PolicyCtx<'_>) -> usize {

@@ -51,7 +51,7 @@ pub use config::{AdmissionPolicy, EngineConfig};
 pub use control::{ClosedLoopConfig, ControlAction, ControlRecord, ControlResponse};
 pub use engine::{run, run_with_churn, Engine};
 pub use memory::{DeviceKv, KvAllocError, KvState};
-pub use metrics::{ClassStats, CompletedRequest, ModuleSample, RunReport, TraceSample};
+pub use metrics::{ClassStats, CompletedRequest, CostReport, ModuleSample, RunReport, TraceSample};
 pub use policy::{
     Handoff, KvView, Policy, PolicyCtx, PrefixView, RedispatchOp, RequestsView, VictimAction,
 };

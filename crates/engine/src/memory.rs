@@ -590,7 +590,13 @@ mod tests {
             .device_mut(p100)
             .allocate(RequestId(1), 0, 8, 1_000_000, 80)
             .unwrap_err();
-        assert_eq!(err, KvAllocError { requested, available });
+        assert_eq!(
+            err,
+            KvAllocError {
+                requested,
+                available
+            }
+        );
         assert!(err.to_string().contains(&format!("{requested} bytes")));
         // Growth failures report the *delta* they asked for.
         s.device_mut(p100)

@@ -6,7 +6,7 @@
 //! max-stage × stage-count metric), KV-pool totals (Fig. 11) and resource
 //! time series (Fig. 14).
 
-use hetis_cluster::DeviceId;
+use hetis_cluster::{DeviceId, GpuType};
 use hetis_sim::{percentile, Summary};
 use hetis_workload::{RequestId, SloClass, TenantId};
 
@@ -116,6 +116,56 @@ pub struct TraceSample {
     pub devices: Vec<(DeviceId, f64, u64)>,
 }
 
+/// Dollar accounting of one run under a spot-price trace and an
+/// acquisition policy (see `hetis-elastic`'s cost meter, which produces
+/// these). Billing replays the churn schedule against the price trace —
+/// it never perturbs the simulation, so two runs differing only in
+/// acquisition policy have identical serving behavior and SLO attainment,
+/// and [`RunReport::digest`] folds this block only when it is attached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostReport {
+    /// Dollars billed for intervals acquired on-demand (full rate).
+    pub on_demand_dollars: f64,
+    /// Dollars billed for intervals acquired on the spot market (rate ×
+    /// integrated price multiplier).
+    pub spot_dollars: f64,
+    /// Dollars per GPU class, in cluster device order, classes with no
+    /// billed time omitted.
+    pub per_gpu_dollars: Vec<(GpuType, f64)>,
+    /// Acquisitions decided as spot (initial fleet + churn replacements).
+    pub spot_acquisitions: u64,
+    /// Acquisitions decided as on-demand.
+    pub on_demand_acquisitions: u64,
+    /// Occupancy intervals ended by churn (preemption revocations and
+    /// failures) rather than by the end of the run.
+    pub revocations: u64,
+    /// Total billed device-seconds across all intervals.
+    pub billed_device_s: f64,
+    /// Output tokens of SLO-meeting completions (the goodput numerator —
+    /// matches [`ClassStats::goodput_tokens`] summed over classes).
+    pub in_slo_tokens: u64,
+    /// The headline economics metric: total dollars per in-SLO output
+    /// token (+inf when the run served nothing within SLO).
+    pub cost_per_in_slo_token: f64,
+}
+
+impl CostReport {
+    /// Total dollars billed (spot + on-demand).
+    pub fn total_dollars(&self) -> f64 {
+        self.on_demand_dollars + self.spot_dollars
+    }
+}
+
+/// Stable small integer code of a GPU class, for digest folding.
+fn gpu_code(gpu: GpuType) -> u64 {
+    match gpu {
+        GpuType::A100 => 0,
+        GpuType::Rtx3090 => 1,
+        GpuType::P100 => 2,
+        GpuType::Custom(i) => 100 + i as u64,
+    }
+}
+
 /// Full output of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -221,6 +271,13 @@ pub struct RunReport {
     /// identically to its open-loop twin, and two equal digests imply
     /// byte-identical actuation sequences.
     pub control_log: Vec<crate::control::ControlRecord>,
+    /// Dollar accounting under a price trace + acquisition policy
+    /// (`None` unless a cost meter attached one after the run). Folded
+    /// into [`RunReport::digest`] *only when present* — the same
+    /// only-when-enabled neutrality contract as `control_log` — so every
+    /// costless pin stays bit-identical while costed runs pin their
+    /// acquisition economics too.
+    pub cost: Option<CostReport>,
 }
 
 impl RunReport {
@@ -416,7 +473,40 @@ impl RunReport {
                 fold(b);
             }
         }
+        // Cost accounting — folded only when a cost meter attached it, so
+        // uncosted pins are untouched and equal digests of costed runs
+        // imply identical dollars, acquisition decisions, and the
+        // cost-per-in-SLO-token headline.
+        if let Some(c) = &self.cost {
+            fold(c.on_demand_dollars.to_bits());
+            fold(c.spot_dollars.to_bits());
+            fold(c.per_gpu_dollars.len() as u64);
+            for &(gpu, d) in &c.per_gpu_dollars {
+                fold(gpu_code(gpu));
+                fold(d.to_bits());
+            }
+            fold(c.spot_acquisitions);
+            fold(c.on_demand_acquisitions);
+            fold(c.revocations);
+            fold(c.billed_device_s.to_bits());
+            fold(c.in_slo_tokens);
+            fold(c.cost_per_in_slo_token.to_bits());
+        }
         h
+    }
+
+    /// Dollars per in-SLO output token (+inf when no cost accounting is
+    /// attached — an uncosted run has no defined price).
+    pub fn cost_per_in_slo_token(&self) -> f64 {
+        self.cost
+            .as_ref()
+            .map(|c| c.cost_per_in_slo_token)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Total dollars billed (0 when no cost accounting is attached).
+    pub fn total_dollars(&self) -> f64 {
+        self.cost.as_ref().map(|c| c.total_dollars()).unwrap_or(0.0)
     }
 
     /// Closed-loop control actions of one kind (see
@@ -564,6 +654,7 @@ mod tests {
             telemetry_dropped: 0,
             telemetry: None,
             control_log: vec![],
+            cost: None,
         }
     }
 
@@ -602,6 +693,36 @@ mod tests {
             action: ControlAction::ThrottleOn { attainment: 0.5 },
         });
         assert_ne!(other.digest(), acted.digest());
+    }
+
+    #[test]
+    fn cost_folds_only_when_attached() {
+        let base = empty_report();
+        let pinned = base.digest();
+        assert!(base.cost.is_none(), "uncosted by default");
+        assert!(base.cost_per_in_slo_token().is_infinite());
+        assert_eq!(base.total_dollars(), 0.0);
+        let mut billed = empty_report();
+        billed.cost = Some(CostReport {
+            on_demand_dollars: 10.0,
+            spot_dollars: 2.5,
+            per_gpu_dollars: vec![(GpuType::A100, 9.0), (GpuType::P100, 3.5)],
+            spot_acquisitions: 4,
+            on_demand_acquisitions: 12,
+            revocations: 4,
+            billed_device_s: 720.0,
+            in_slo_tokens: 50_000,
+            cost_per_in_slo_token: 12.5 / 50_000.0,
+        });
+        assert_ne!(billed.digest(), pinned, "attached costs must pin");
+        assert!((billed.total_dollars() - 12.5).abs() < 1e-12);
+        // A different acquisition split ⇒ a different digest.
+        let mut other = billed.clone();
+        if let Some(c) = &mut other.cost {
+            c.spot_acquisitions = 5;
+            c.on_demand_acquisitions = 11;
+        }
+        assert_ne!(other.digest(), billed.digest());
     }
 
     #[test]

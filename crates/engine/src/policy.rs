@@ -50,9 +50,7 @@ impl<'a> KvView<'a> {
     pub fn device(&self, d: DeviceId) -> &'a DeviceKv {
         match *self {
             KvView::Single(kv) => kv.device(d),
-            KvView::Sharded { parts, owner } => {
-                parts[owner[d.0 as usize] as usize].device(d)
-            }
+            KvView::Sharded { parts, owner } => parts[owner[d.0 as usize] as usize].device(d),
         }
     }
 }
@@ -116,20 +114,19 @@ impl<'a> RequestsView<'a> {
     }
 }
 
+/// Flattened iterator over the per-part request maps of a sharded view.
+type PartsValues<'a> = std::iter::FlatMap<
+    std::slice::Iter<'a, &'a HashMap<RequestId, RunningRequest>>,
+    hash_map::Values<'a, RequestId, RunningRequest>,
+    fn(&&'a HashMap<RequestId, RunningRequest>) -> hash_map::Values<'a, RequestId, RunningRequest>,
+>;
+
 /// Iterator over [`RequestsView::values`].
 pub enum RequestsValues<'a> {
     /// Single-map fast path.
     One(hash_map::Values<'a, RequestId, RunningRequest>),
     /// Chained multi-part iteration.
-    Many(
-        std::iter::FlatMap<
-            std::slice::Iter<'a, &'a HashMap<RequestId, RunningRequest>>,
-            hash_map::Values<'a, RequestId, RunningRequest>,
-            fn(
-                &&'a HashMap<RequestId, RunningRequest>,
-            ) -> hash_map::Values<'a, RequestId, RunningRequest>,
-        >,
-    ),
+    Many(PartsValues<'a>),
 }
 
 impl<'a> Iterator for RequestsValues<'a> {

@@ -252,8 +252,8 @@ mod tests {
         c.insert(1, 0, entry(10, &[(0, 100)], 1.0, 1)); // oldest on dev 0
         c.insert(2, 0, entry(10, &[(0, 100), (1, 50)], 2.0, 2));
         c.insert(3, 0, entry(10, &[(1, 50)], 3.0, 3)); // dev 1 only
-        // Device 0 holds 200 cached bytes; free = 150 forces out the
-        // oldest dev-0 entry only.
+                                                       // Device 0 holds 200 cached bytes; free = 150 forces out the
+                                                       // oldest dev-0 entry only.
         assert_eq!(c.enforce_pressure(DeviceId(0), 150), 1);
         assert!(c.get(1, 0).is_none());
         assert!(c.get(2, 0).is_some() && c.get(3, 0).is_some());

@@ -20,9 +20,7 @@ use std::collections::HashMap;
 use hetis_cluster::cluster::paper_cluster;
 use hetis_cluster::DeviceId;
 use hetis_engine::policy::StaticPolicy;
-use hetis_engine::{
-    run, EngineConfig, InstanceRole, InstanceTopo, RunReport, StageTopo, Topology,
-};
+use hetis_engine::{run, EngineConfig, InstanceRole, InstanceTopo, RunReport, StageTopo, Topology};
 use hetis_model::llama_13b;
 use hetis_parallel::StageConfig;
 use hetis_workload::{multi_turn_trace, DatasetKind, SessionWorkload, SloClass, Trace};
@@ -91,7 +89,12 @@ fn reuse_off_never_probes() {
     let r = run_sessions(false, 1, 7);
     assert!(r.completed.len() > 50, "trace must mostly complete");
     assert_eq!(
-        (r.prefix_probes, r.prefix_hits, r.prefix_hit_tokens, r.shared_kv_bytes),
+        (
+            r.prefix_probes,
+            r.prefix_hits,
+            r.prefix_hit_tokens,
+            r.shared_kv_bytes
+        ),
         (0, 0, 0, 0)
     );
     assert_eq!(r.prefix_hit_rate(), 0.0);
@@ -168,7 +171,11 @@ fn reuse_improves_follow_up_turn_ttft() {
 fn reuse_on_digest_is_shard_invariant() {
     let seq = run_sessions(true, 1, 7);
     assert!(seq.prefix_hits > 0, "shard test must exercise the cache");
-    assert_eq!(seq.digest(), run_sessions(true, 1, 7).digest(), "determinism");
+    assert_eq!(
+        seq.digest(),
+        run_sessions(true, 1, 7).digest(),
+        "determinism"
+    );
     for shards in [2, 4] {
         let sharded = run_sessions(true, shards, 7);
         assert_eq!(

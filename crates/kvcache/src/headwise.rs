@@ -206,7 +206,11 @@ impl HeadwiseAllocator {
         group: GroupId,
         idx: usize,
     ) -> Result<BlockId, AllocError> {
-        let b = self.tables.get(&(seq, group)).expect("unknown group").blocks[idx];
+        let b = self
+            .tables
+            .get(&(seq, group))
+            .expect("unknown group")
+            .blocks[idx];
         if self.refs[b.0 as usize] <= 1 {
             return Ok(b);
         }
@@ -242,9 +246,12 @@ impl HeadwiseAllocator {
         let mut need = 0u32;
         for &g in &groups {
             let t = &self.tables[&(seq, g)];
-            if t.tokens.is_multiple_of(self.config.block_size) || t.blocks.is_empty() {
-                need += 1;
-            } else if t.blocks.last().is_some_and(|&b| self.refs[b.0 as usize] > 1) {
+            if t.tokens.is_multiple_of(self.config.block_size)
+                || t.blocks.is_empty()
+                || t.blocks
+                    .last()
+                    .is_some_and(|&b| self.refs[b.0 as usize] > 1)
+            {
                 need += 1;
             }
         }
@@ -258,7 +265,11 @@ impl HeadwiseAllocator {
             let t = &self.tables[&(seq, g)];
             if t.tokens.is_multiple_of(self.config.block_size) || t.blocks.is_empty() {
                 let b = self.take_free();
-                self.tables.get_mut(&(seq, g)).expect("present").blocks.push(b);
+                self.tables
+                    .get_mut(&(seq, g))
+                    .expect("present")
+                    .blocks
+                    .push(b);
             } else {
                 let idx = t.blocks.len() - 1;
                 self.write_block(seq, g, idx)?;
@@ -289,7 +300,9 @@ impl HeadwiseAllocator {
             need += target_blocks.saturating_sub(t.blocks.len() as u32);
             if t.tokens < new_total
                 && !t.tokens.is_multiple_of(self.config.block_size)
-                && t.blocks.last().is_some_and(|&b| self.refs[b.0 as usize] > 1)
+                && t.blocks
+                    .last()
+                    .is_some_and(|&b| self.refs[b.0 as usize] > 1)
             {
                 need += 1;
             }
@@ -306,12 +319,14 @@ impl HeadwiseAllocator {
                 let idx = t.blocks.len() - 1;
                 self.write_block(seq, g, idx)?;
             }
-            let add = target_blocks.saturating_sub(
-                self.tables[&(seq, g)].blocks.len() as u32,
-            );
+            let add = target_blocks.saturating_sub(self.tables[&(seq, g)].blocks.len() as u32);
             for _ in 0..add {
                 let b = self.take_free();
-                self.tables.get_mut(&(seq, g)).expect("present").blocks.push(b);
+                self.tables
+                    .get_mut(&(seq, g))
+                    .expect("present")
+                    .blocks
+                    .push(b);
             }
             let t = self.tables.get_mut(&(seq, g)).expect("present");
             t.tokens = t.tokens.max(new_total);

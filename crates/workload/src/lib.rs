@@ -14,11 +14,15 @@
 //!
 //! The [`slo`] module adds the multi-tenant vocabulary on top: SLO
 //! classes with TTFT/TPOT targets, tenant tags, and a builder that
-//! merges per-tenant streams into one arrival-sorted trace.
+//! merges per-tenant streams into one arrival-sorted trace. The
+//! [`price`] module extends the same determinism discipline to the
+//! economics axis: seeded spot-price multiplier traces that the elastic
+//! controller's acquisition policy and the cost meter both consume.
 
 pub mod arrivals;
 pub mod datasets;
 pub mod dist;
+pub mod price;
 pub mod request;
 pub mod sessions;
 pub mod slo;
@@ -27,6 +31,7 @@ pub mod trace;
 pub use arrivals::{ArrivalProcess, PiecewiseRate, Poisson};
 pub use datasets::{Dataset, DatasetKind};
 pub use dist::{Distribution, LogNormal, TruncatedLogNormal, Uniform};
+pub use price::PriceTrace;
 pub use request::{Request, RequestId, SessionTurn};
 pub use sessions::{multi_turn_trace, SessionWorkload};
 pub use slo::{multi_tenant_trace, SloClass, SloTarget, TenantId, TenantSpec};

@@ -1,0 +1,165 @@
+//! Deterministic, seeded spot-price traces.
+//!
+//! Cloud spot markets quote a per-instance price that moves on a scale of
+//! minutes and always sits below the on-demand rate. [`PriceTrace`] models
+//! that as a piecewise-constant *multiplier* of the on-demand price — a
+//! seeded bounded random walk, so the same `(seed, horizon, step)` triple
+//! always reproduces the same curve bit-for-bit, exactly like every other
+//! workload generator in this crate. The elastic controller's acquisition
+//! policy and the cost meter both read the same trace, keeping "what the
+//! controller decided" and "what the run was billed" consistent.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A piecewise-constant spot-price multiplier curve over `[0, horizon)`.
+///
+/// `at(t)` clamps outside the generated window (first/last step), so a run
+/// that drains past the horizon keeps a defined price.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceTrace {
+    /// Seconds each step holds its multiplier.
+    step_s: f64,
+    /// One multiplier per step, each in `(0, 1]` of the on-demand rate.
+    multipliers: Vec<f64>,
+}
+
+impl PriceTrace {
+    /// A flat trace: the multiplier is `x` forever.
+    pub fn constant(x: f64) -> Self {
+        assert!(x > 0.0, "price multiplier must be positive");
+        PriceTrace {
+            step_s: f64::INFINITY,
+            multipliers: vec![x],
+        }
+    }
+
+    /// A seeded bounded random walk in `[lo, hi]`, stepping every
+    /// `step_s` seconds over `horizon_s`. Same arguments ⇒ same curve.
+    pub fn seeded(seed: u64, horizon_s: f64, step_s: f64, lo: f64, hi: f64) -> Self {
+        assert!(step_s > 0.0 && horizon_s > 0.0, "positive horizon and step");
+        assert!(0.0 < lo && lo <= hi, "need 0 < lo <= hi");
+        let steps = (horizon_s / step_s).ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut multipliers = Vec::with_capacity(steps.max(1));
+        let mut level: f64 = rng.gen_range(lo..hi.max(lo + f64::EPSILON));
+        let swing = (hi - lo) * 0.25;
+        for _ in 0..steps.max(1) {
+            multipliers.push(level);
+            level = (level + rng.gen_range(-swing..swing.max(f64::MIN_POSITIVE))).clamp(lo, hi);
+        }
+        PriceTrace {
+            step_s,
+            multipliers,
+        }
+    }
+
+    /// The multiplier at time `t` (clamped to the generated window).
+    pub fn at(&self, t: f64) -> f64 {
+        if !self.step_s.is_finite() {
+            return self.multipliers[0];
+        }
+        let i = if t <= 0.0 {
+            0
+        } else {
+            ((t / self.step_s) as usize).min(self.multipliers.len() - 1)
+        };
+        self.multipliers[i]
+    }
+
+    /// Exact integral of the multiplier over `[a, b]` (piecewise-constant,
+    /// so this is a finite sum) — spot billing for an occupancy interval.
+    pub fn integral(&self, a: f64, b: f64) -> f64 {
+        if b <= a {
+            return 0.0;
+        }
+        if !self.step_s.is_finite() {
+            return self.multipliers[0] * (b - a);
+        }
+        let mut total = 0.0;
+        let mut t = a.max(0.0);
+        // Anything before t=0 or past the last step bills at the clamped
+        // boundary multiplier.
+        total += self.at(-1.0) * (t - a).max(0.0);
+        while t < b {
+            let i = ((t / self.step_s) as usize).min(self.multipliers.len() - 1);
+            let step_end = if i + 1 >= self.multipliers.len() {
+                f64::INFINITY
+            } else {
+                (i as f64 + 1.0) * self.step_s
+            };
+            let end = step_end.min(b);
+            total += self.multipliers[i] * (end - t);
+            t = end;
+        }
+        total
+    }
+
+    /// Smallest multiplier in the trace.
+    pub fn min(&self) -> f64 {
+        self.multipliers
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest multiplier in the trace.
+    pub fn max(&self) -> f64 {
+        self.multipliers.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic_and_bounded() {
+        let a = PriceTrace::seeded(42, 600.0, 10.0, 0.25, 0.95);
+        let b = PriceTrace::seeded(42, 600.0, 10.0, 0.25, 0.95);
+        assert_eq!(a, b);
+        let c = PriceTrace::seeded(43, 600.0, 10.0, 0.25, 0.95);
+        assert_ne!(a, c, "different seeds must differ");
+        for t in 0..60 {
+            let m = a.at(t as f64 * 10.0);
+            assert!((0.25..=0.95).contains(&m), "multiplier {m} out of band");
+        }
+    }
+
+    #[test]
+    fn at_clamps_outside_window() {
+        let p = PriceTrace::seeded(7, 100.0, 10.0, 0.5, 0.9);
+        assert_eq!(p.at(-5.0), p.at(0.0));
+        assert_eq!(p.at(1e9), p.at(99.9));
+    }
+
+    #[test]
+    fn integral_matches_constant() {
+        let p = PriceTrace::constant(0.4);
+        assert!((p.integral(3.0, 13.0) - 4.0).abs() < 1e-12);
+        assert_eq!(p.integral(5.0, 5.0), 0.0);
+        assert_eq!(p.integral(9.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn integral_matches_riemann_sum() {
+        let p = PriceTrace::seeded(11, 300.0, 7.0, 0.3, 0.8);
+        let (a, b) = (12.5, 287.25);
+        let exact = p.integral(a, b);
+        let n = 400_000;
+        let dt = (b - a) / n as f64;
+        let approx: f64 = (0..n).map(|i| p.at(a + (i as f64 + 0.5) * dt) * dt).sum();
+        assert!(
+            (exact - approx).abs() < 1e-3,
+            "exact {exact} vs riemann {approx}"
+        );
+    }
+
+    #[test]
+    fn spot_band_sits_below_on_demand() {
+        let p = PriceTrace::seeded(5, 600.0, 15.0, 0.25, 0.95);
+        assert!(p.max() <= 0.95 && p.min() >= 0.25);
+        // Billing an hour on spot must undercut on-demand (multiplier 1).
+        assert!(p.integral(0.0, 600.0) < 600.0);
+    }
+}

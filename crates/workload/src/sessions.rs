@@ -60,9 +60,7 @@ pub fn multi_turn_trace(spec: &SessionWorkload, seed: u64) -> Trace {
     for s in 0..spec.sessions as u64 {
         let u: f64 = start_rng.gen::<f64>().max(f64::MIN_POSITIVE);
         start += -u.ln() / spec.session_rate;
-        let session_seed = seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(s + 1);
+        let session_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(s + 1);
         let mut rng = StdRng::seed_from_u64(session_seed);
         let mut arrival = start;
         let mut context: u64 = 0; // tokens the previous turns accumulated
@@ -80,7 +78,10 @@ pub fn multi_turn_trace(spec: &SessionWorkload, seed: u64) -> Trace {
                 output_len,
                 class: spec.class,
                 tenant: TenantId::default(),
-                session: Some(SessionTurn { session: s, turn: t }),
+                session: Some(SessionTurn {
+                    session: s,
+                    turn: t,
+                }),
             });
             context = input_len as u64 + output_len as u64;
         }
@@ -128,7 +129,10 @@ mod tests {
     fn sorted_with_sequential_ids_and_tags() {
         let t = multi_turn_trace(&spec(), 7);
         assert_eq!(t.len(), 6 * 4);
-        assert!(t.requests().windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(t
+            .requests()
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
         for (i, r) in t.requests().iter().enumerate() {
             assert_eq!(r.id, RequestId(i as u64));
             assert_eq!(r.class, SloClass::Interactive);
@@ -142,7 +146,10 @@ mod tests {
         let t = multi_turn_trace(&spec(), 3);
         let mut by_session: BTreeMap<u64, Vec<&Request>> = BTreeMap::new();
         for r in t.requests() {
-            by_session.entry(r.session.unwrap().session).or_default().push(r);
+            by_session
+                .entry(r.session.unwrap().session)
+                .or_default()
+                .push(r);
         }
         for (_, turns) in by_session {
             assert_eq!(turns.len(), 4);
@@ -178,20 +185,17 @@ mod tests {
                 .iter()
                 .find(|q| q.session == Some(st))
                 .expect("session survives");
-            assert_eq!((twin.input_len, twin.output_len), (r.input_len, r.output_len));
+            assert_eq!(
+                (twin.input_len, twin.output_len),
+                (r.input_len, r.output_len)
+            );
             assert_eq!(twin.arrival, r.arrival);
         }
     }
 
     #[test]
     fn single_turn_sessions_are_single_shot() {
-        let t = multi_turn_trace(
-            &SessionWorkload {
-                turns: 1,
-                ..spec()
-            },
-            2,
-        );
+        let t = multi_turn_trace(&SessionWorkload { turns: 1, ..spec() }, 2);
         assert_eq!(t.len(), 6);
         assert!(t.requests().iter().all(|r| r.session.unwrap().turn == 0));
     }

@@ -22,9 +22,7 @@
 use hetis::cluster::cluster::paper_cluster;
 use hetis::cluster::DeviceId;
 use hetis::engine::policy::StaticPolicy;
-use hetis::engine::{
-    run, EngineConfig, InstanceRole, InstanceTopo, StageTopo, Topology,
-};
+use hetis::engine::{run, EngineConfig, InstanceRole, InstanceTopo, StageTopo, Topology};
 use hetis::model::llama_13b;
 use hetis::parallel::StageConfig;
 use hetis::workload::{DatasetKind, Request, RequestId, SloClass, TenantId, Trace};

@@ -54,25 +54,11 @@ fn assert_shard_invariant<P: Policy, F: Fn() -> P>(
     trace: &Trace,
     events: &[ClusterEvent],
 ) -> RunReport {
-    let sequential = run_with_churn(
-        make_policy(),
-        cluster,
-        model,
-        cfg.clone(),
-        trace,
-        events,
-    );
+    let sequential = run_with_churn(make_policy(), cluster, model, cfg.clone(), trace, events);
     for shards in SHARD_COUNTS {
         let mut sharded_cfg = cfg.clone();
         sharded_cfg.sim_shards = shards;
-        let sharded = run_with_churn(
-            make_policy(),
-            cluster,
-            model,
-            sharded_cfg,
-            trace,
-            events,
-        );
+        let sharded = run_with_churn(make_policy(), cluster, model, sharded_cfg, trace, events);
         assert_eq!(
             sharded.digest(),
             sequential.digest(),
